@@ -1,0 +1,56 @@
+//! Fig. 10 — strong scaling of the optimized PT-IM code:
+//! (a) 768-atom silicon on the ARM platform (15 → 480 nodes),
+//! (b) 1536-atom silicon on the GPU platform (12 → 192 nodes).
+//!
+//! The "ideal" column scales as `1/nodes` from the first point, matching
+//! the paper's ideal-scaling line.
+
+use perfmodel::{parallel_efficiency, strong_scaling, Platform};
+use pwdft_bench::{fmt_s, print_table};
+
+fn run(pf: &Platform, atoms: usize, nodes: &[usize], paper_eff: f64, paper_factor: f64) {
+    let series = strong_scaling(pf, atoms, nodes);
+    let eff = parallel_efficiency(&series);
+    let t0 = series[0].time;
+    let n0 = series[0].nodes as f64;
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .zip(&eff)
+        .map(|(p, e)| {
+            vec![
+                p.nodes.to_string(),
+                fmt_s(p.time),
+                fmt_s(t0 * n0 / p.nodes as f64),
+                format!("{:.1}%", 100.0 * e),
+                fmt_s(p.breakdown.comm.total()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 10 — strong scaling, {} Si atoms on {}", atoms, pf.name),
+        &["nodes", "t/step (s)", "ideal (s)", "parallel eff.", "comm (s)"],
+        &rows,
+    );
+    let measured_factor = series[0].time / series.last().unwrap().time;
+    let scale = series.last().unwrap().nodes / series[0].nodes;
+    println!(
+        "model: {scale}x nodes -> {measured_factor:.2}x faster (efficiency {:.1}%)",
+        100.0 * eff.last().unwrap()
+    );
+    println!(
+        "paper: {scale}x nodes -> {paper_factor:.2}x faster (efficiency {:.1}%)",
+        100.0 * paper_eff
+    );
+}
+
+fn main() {
+    println!("# Fig. 10 reproduction — strong scaling (model-driven)");
+    run(
+        &Platform::fugaku_arm(),
+        768,
+        &[15, 30, 60, 120, 240, 480],
+        0.368,
+        11.79,
+    );
+    run(&Platform::gpu_a100(), 1536, &[12, 24, 48, 96, 192], 0.229, 3.67);
+}

@@ -1,0 +1,111 @@
+//! Fig. 7 — accuracy of PT-IM-ACE (Δt = 50 as) against RK4 with a much
+//! smaller step, for the 8-atom silicon system under the 380 nm pulse,
+//! in pure (T=0) and mixed (8000 K, 24 states) states.
+//!
+//! Prints the dipole/energy series of both propagators and the agreement
+//! metrics the paper's figure demonstrates. Default: a CI-scale window
+//! (RK4 at Δt/25); `--full` runs the paper's 30 fs at Δt/100.
+
+use pwdft_bench::{fmt_s, prepare_ground_state, print_table, si8_system, HarnessOpts};
+use ptim::{
+    laser::AU_TIME_AS, ptim_ace_step, rk4_step, HybridParams, LaserPulse, PtimAceConfig,
+    Recorder, Rk4Config, TdEngine, TdState,
+};
+
+fn run_case(label: &str, opts: &HarnessOpts, mixed: bool) {
+    let sys = si8_system(opts);
+    let n_bands = if mixed { 24 } else { 16 };
+    let temp = if mixed { 8000.0 } else { 10.0 };
+    println!("\n== {label}: preparing hybrid ground state ({n_bands} states, {temp} K)...");
+    let gs = prepare_ground_state(&sys, n_bands, temp, true);
+    println!(
+        "   SCF done in {} iterations (residual {:.2e}); E = {:.6} Ha",
+        gs.iterations,
+        gs.rho_residual,
+        gs.energies.total()
+    );
+
+    let total_fs = if opts.full { 30.0 } else { 0.75 };
+    let pulse = LaserPulse::paper_pulse(0.005, if opts.full { 30.0 } else { 3.0 });
+    let hyb = HybridParams::default();
+    let eng = TdEngine::new(&sys, pulse, hyb);
+
+    let dt_pt = 50.0 / AU_TIME_AS;
+    let rk4_divisor = if opts.full { 100.0 } else { 25.0 };
+    let n_pt_steps = (total_fs / ptim::laser::AU_TIME_FS / dt_pt).round() as usize;
+
+    // PT-IM-ACE trajectory.
+    let mut state = TdState::from_ground_state(&gs);
+    let cfg = PtimAceConfig { dt: dt_pt, ..Default::default() };
+    let mut rec_pt = Recorder::new();
+    rec_pt.record(&eng, &state);
+    let mut total_fock = 0usize;
+    for _ in 0..n_pt_steps {
+        let (next, stats) = ptim_ace_step(&eng, &state, &cfg);
+        total_fock += stats.fock_applies;
+        state = next;
+        rec_pt.record(&eng, &state);
+    }
+
+    // RK4 reference, sampled at the PT-IM times.
+    let dt_rk = dt_pt / rk4_divisor;
+    let mut rk = TdState::from_ground_state(&gs);
+    let rk_cfg = Rk4Config { dt: dt_rk };
+    let mut rec_rk = Recorder::new();
+    rec_rk.record(&eng, &rk);
+    for _ in 0..n_pt_steps {
+        for _ in 0..rk4_divisor as usize {
+            let (next, _) = rk4_step(&eng, &rk, &rk_cfg);
+            rk = next;
+        }
+        rec_rk.record(&eng, &rk);
+    }
+
+    // Print both series.
+    let rows: Vec<Vec<String>> = rec_pt
+        .samples
+        .iter()
+        .zip(&rec_rk.samples)
+        .map(|(a, b)| {
+            vec![
+                format!("{:.3}", a.time * ptim::laser::AU_TIME_FS),
+                format!("{:+.3e}", a.field),
+                format!("{:+.6e}", a.dipole_x),
+                format!("{:+.6e}", b.dipole_x),
+                format!("{:.8}", a.total_energy),
+                format!("{:.8}", b.total_energy),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 7 ({label}): PT-IM-ACE (Δt=50 as) vs RK4 (Δt=50/{rk4_divisor} as)"),
+        &["t (fs)", "E-field", "dipole PT", "dipole RK4", "E_tot PT (Ha)", "E_tot RK4 (Ha)"],
+        &rows,
+    );
+
+    let max_dip = rec_pt.max_dipole_diff(&rec_rk);
+    let dip_scale = rec_rk
+        .samples
+        .iter()
+        .map(|s| s.dipole_x.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let e_drift = (rec_pt.samples.last().unwrap().total_energy
+        - rec_rk.samples.last().unwrap().total_energy)
+        .abs();
+    println!("   max |Δdipole| = {max_dip:.3e} (signal scale {dip_scale:.3e})");
+    println!("   final |ΔE_total| = {} Ha", fmt_s(e_drift));
+    println!("   PT-IM-ACE Fock builds over the window: {total_fock} (~{:.1}/step)",
+        total_fock as f64 / n_pt_steps.max(1) as f64);
+    println!(
+        "   paper: PT-IM-ACE at 50 as fully matches RK4 at 0.5 as in both pure and mixed states"
+    );
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("# Fig. 7 reproduction — PT-IM-ACE vs RK4 accuracy (8-atom Si, 380 nm pulse)");
+    println!("# mode: {}", if opts.full { "--full (paper scale)" } else { "CI scale" });
+    run_case("pure states (T→0, 16 states)", &opts, false);
+    run_case("mixed states (8000 K, 24 states)", &opts, true);
+}

@@ -1,0 +1,122 @@
+//! Fig. 8 — electron motion at finite temperature: evolution of the
+//! occupation matrix σ of the 8-atom silicon system under the laser
+//! pulse. Reports (a) the trajectory of the off-diagonal element σ(0,2)
+//! in the complex plane, (b) the diagonal element σ(22,22) versus time,
+//! and (c/d) the initial and final σ matrices.
+
+use pwdft_bench::{prepare_ground_state, print_table, si8_system, HarnessOpts};
+use ptim::{
+    laser::{AU_TIME_AS, AU_TIME_FS},
+    ptim_ace_step, HybridParams, LaserPulse, PtimAceConfig, Recorder, TdEngine, TdState,
+};
+
+fn sigma_heatmap(label: &str, sigma: &pwnum::CMat) {
+    println!("\n{label} (|σ_ij|, row-major):");
+    let n = sigma.rows();
+    for i in 0..n {
+        let mut line = String::new();
+        for j in 0..n {
+            let v = sigma[(i, j)].abs();
+            let ch = if v > 0.75 {
+                '#'
+            } else if v > 0.4 {
+                '+'
+            } else if v > 0.1 {
+                '.'
+            } else if v > 0.01 {
+                ','
+            } else {
+                ' '
+            };
+            line.push(ch);
+        }
+        println!("  |{line}|");
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("# Fig. 8 reproduction — σ(t) evolution (8-atom Si, 8000 K, 24 states)");
+    println!("# mode: {}", if opts.full { "--full (30 fs)" } else { "CI scale" });
+
+    let sys = si8_system(&opts);
+    let gs = prepare_ground_state(&sys, 24, 8000.0, true);
+    println!(
+        "ground state: {} SCF iterations, E = {:.6} Ha, occupations {:.3}..{:.3}",
+        gs.iterations,
+        gs.energies.total(),
+        gs.occ.last().unwrap(),
+        gs.occ[0]
+    );
+
+    let total_fs = if opts.full { 30.0 } else { 1.5 };
+    // A stronger pulse at CI scale so σ moves visibly within the window.
+    let e0 = if opts.full { 0.005 } else { 0.05 };
+    let pulse = LaserPulse::paper_pulse(e0, total_fs);
+    let eng = TdEngine::new(&sys, pulse, HybridParams::default());
+
+    let dt = 50.0 / AU_TIME_AS;
+    let n_steps = (total_fs / AU_TIME_FS / dt).round() as usize;
+    let cfg = PtimAceConfig { dt, ..Default::default() };
+
+    let mut state = TdState::from_ground_state(&gs);
+    let sigma_initial = state.sigma.clone();
+    let mut rec = Recorder::new();
+    rec.record(&eng, &state);
+    for step in 0..n_steps {
+        let (next, stats) = ptim_ace_step(&eng, &state, &cfg);
+        state = next;
+        rec.record(&eng, &state);
+        if (step + 1) % 10 == 0 {
+            println!(
+                "  step {:4}/{n_steps}: t = {:.2} fs, outers {}, tr σ = {:.6}",
+                step + 1,
+                state.time * AU_TIME_FS,
+                stats.outer_iters,
+                state.sigma.trace().re
+            );
+        }
+    }
+
+    // (a)+(b): σ(0,2) complex trajectory and σ(22,22) vs time.
+    let rows: Vec<Vec<String>> = rec
+        .samples
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{:.3}", s.time * AU_TIME_FS),
+                format!("{:+.3e}", s.field),
+                format!("{:+.5e}", s.sigma_02.re),
+                format!("{:+.5e}", s.sigma_02.im),
+                format!("{:.6}", s.sigma_diag),
+                format!("{:.6}", s.electrons),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8(a,b): σ(0,2) trajectory and σ(22,22) occupation",
+        &["t (fs)", "E-field", "Re σ(0,2)", "Im σ(0,2)", "σ(22,22)", "2 tr σ"],
+        &rows,
+    );
+
+    // (c)/(d): initial and final σ.
+    sigma_heatmap("Fig. 8(c): initial σ", &sigma_initial);
+    sigma_heatmap("Fig. 8(d): final σ", &state.sigma);
+
+    let max_off = {
+        let mut m = 0.0f64;
+        for i in 0..24 {
+            for j in 0..24 {
+                if i != j {
+                    m = m.max(state.sigma[(i, j)].abs());
+                }
+            }
+        }
+        m
+    };
+    println!("\nsummary:");
+    println!("  max |off-diagonal σ| at end: {max_off:.3e} (initial: 0 — diagonal FD matrix)");
+    println!("  electron count drift: {:.3e}", (state.electron_count() - gs.occ.iter().sum::<f64>() * 2.0).abs());
+    println!("  paper: off-diagonals develop under the pulse (stochastic-looking σ(0,2) path),");
+    println!("         diagonal occupations respond as the field ramps (10–15 fs).");
+}

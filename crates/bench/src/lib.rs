@@ -1,0 +1,101 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every binary accepts `--full` for paper-scale parameters; the default
+//! is a CI-scale configuration that exercises the identical code paths in
+//! seconds. `EXPERIMENTS.md` records both.
+
+use pwdft::{scf_hybrid, scf_lda, Cell, DftSystem, GroundState, HybridConfig, ScfConfig};
+
+/// Harness options parsed from the command line.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOpts {
+    /// Run at (closer to) paper scale instead of CI scale.
+    pub full: bool,
+}
+
+impl HarnessOpts {
+    /// Parses `--full` from `std::env::args`.
+    pub fn from_args() -> HarnessOpts {
+        let full = std::env::args().any(|a| a == "--full");
+        HarnessOpts { full }
+    }
+}
+
+/// The 8-atom silicon cell of the paper's accuracy experiments (Fig. 7/8)
+/// at a CI-friendly cutoff.
+pub fn si8_system(opts: &HarnessOpts) -> DftSystem {
+    if opts.full {
+        // Paper settings: Ecut = 10 Ha (grid chosen automatically).
+        DftSystem::new(Cell::silicon_supercell(1, 1, 1), 10.0)
+    } else {
+        DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 3.0, [10, 10, 10])
+    }
+}
+
+/// Prepares the finite-temperature hybrid ground state `(Φ(0), σ(0))`
+/// for the 8-atom system with `n_bands` states at temperature `temp_k`.
+pub fn prepare_ground_state(
+    sys: &DftSystem,
+    n_bands: usize,
+    temp_k: f64,
+    hybrid: bool,
+) -> GroundState {
+    let cfg = ScfConfig {
+        n_bands,
+        temperature_k: temp_k,
+        tol_rho: 1e-6,
+        max_scf: 60,
+        davidson_iters: 8,
+        davidson_tol: 1e-7,
+        mix_depth: 15,
+        mix_beta: 0.6,
+        seed: 7,
+    };
+    let gs = scf_lda(sys, &cfg);
+    if hybrid {
+        let hyb = HybridConfig { outer_iters: 3, ..Default::default() };
+        scf_hybrid(sys, &cfg, &hyb, gs)
+    } else {
+        gs
+    }
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats seconds with sensible precision.
+pub fn fmt_s(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.1}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else {
+        format!("{t:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_scale_system_is_small() {
+        let sys = si8_system(&HarnessOpts { full: false });
+        assert_eq!(sys.grid.len(), 1000);
+        assert_eq!(sys.cell.n_atoms(), 8);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_s(429.3), "429.3");
+        assert_eq!(fmt_s(11.4), "11.40");
+        assert_eq!(fmt_s(0.5), "0.5000");
+    }
+}

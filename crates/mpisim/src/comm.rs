@@ -1,0 +1,548 @@
+//! Cluster construction, rank communicators, and point-to-point messaging.
+//!
+//! Ranks run as OS threads connected by unbounded channels, so every
+//! communication pattern of the paper (Bcast / ring Sendrecv / async
+//! Isend+Irecv+Wait / collectives) executes *with real data movement* —
+//! correctness of the distributed algorithms is testable against serial
+//! references. On top of the data plane, each rank advances a **virtual
+//! clock**: message arrival times are `send_time + transfer_time` under
+//! the configured [`NetworkModel`], and a receive advances the receiver's
+//! clock to `max(own clock, arrival)` (Lamport-style). This yields
+//! deterministic, scheduling-independent timing that reproduces the
+//! *shape* of the paper's communication results.
+
+use crate::stats::{Category, RankReport, Stats};
+use crate::topology::NetworkModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Message tags. Collectives use the high bit space; user tags should be
+/// below `1 << 48`.
+pub type Tag = u64;
+
+/// Payload trait: anything sendable with a known wire size.
+pub trait Payload: Send + 'static {
+    /// Number of bytes this value occupies on the wire.
+    fn byte_len(&self) -> usize;
+}
+
+impl<T: Send + 'static> Payload for Vec<T> {
+    fn byte_len(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl Payload for () {
+    fn byte_len(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for f64 {
+    fn byte_len(&self) -> usize {
+        8
+    }
+}
+
+impl Payload for u64 {
+    fn byte_len(&self) -> usize {
+        8
+    }
+}
+
+impl Payload for usize {
+    fn byte_len(&self) -> usize {
+        std::mem::size_of::<usize>()
+    }
+}
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    /// Virtual time at which the message is fully available at the receiver.
+    pub arrival: f64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    fn take(&mut self, tag: Tag) -> Envelope {
+        if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
+            return self.pending.remove(pos).unwrap();
+        }
+        loop {
+            let env = self.rx.recv().expect("peer rank terminated while messages were expected");
+            if env.tag == tag {
+                return env;
+            }
+            self.pending.push_back(env);
+        }
+    }
+}
+
+/// Handle for a pending nonblocking operation.
+#[must_use = "nonblocking operations must be completed with Comm::wait"]
+pub enum Request {
+    /// A posted receive; completed (and timed) by `wait`.
+    Recv { src: usize, tag: Tag },
+    /// A send that already left; `wait` is a no-op.
+    Send,
+}
+
+/// The per-rank communicator (the `MPI_COMM_WORLD` analog).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    ranks_per_node: usize,
+    senders: Vec<Sender<Envelope>>,
+    mailboxes: Vec<Mailbox>,
+    pub(crate) net: Arc<NetworkModel>,
+    pub(crate) shm: Arc<crate::shm::ShmRegistry>,
+    clock: f64,
+    /// Collected statistics; public for post-run inspection via the report.
+    pub stats: Stats,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Ranks per simulated compute node.
+    #[inline]
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Node index of an arbitrary rank.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Node index of this rank.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.node_of(self.rank)
+    }
+
+    /// Ranks co-located on this rank's node.
+    pub fn node_ranks(&self) -> std::ops::Range<usize> {
+        let first = self.node() * self.ranks_per_node;
+        first..(first + self.ranks_per_node).min(self.size)
+    }
+
+    /// Lowest rank on this node (the SHM window owner).
+    #[inline]
+    pub fn node_leader(&self) -> usize {
+        self.node() * self.ranks_per_node
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the virtual clock by `seconds` of modeled computation.
+    pub fn compute(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "negative compute time");
+        self.clock += seconds;
+        self.stats.add_time(Category::Compute, seconds);
+    }
+
+    /// Charges `bytes` of per-rank memory to the accounting model.
+    pub fn alloc_private(&mut self, bytes: u64) {
+        self.stats.private_bytes += bytes;
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    pub(crate) fn post(&mut self, dst: usize, tag: Tag, payload: Box<dyn Any + Send>, bytes: usize) {
+        let arrival =
+            self.clock + self.net.transfer_time(self.node(), self.node_of(dst), bytes);
+        self.stats.bytes_sent += bytes as u64;
+        self.senders[dst]
+            .send(Envelope { src: self.rank, tag, arrival, payload })
+            .expect("destination rank terminated");
+    }
+
+    pub(crate) fn take_env(&mut self, src: usize, tag: Tag, cat: Category) -> Envelope {
+        let env = self.mailboxes[src].take(tag);
+        let new_clock = self.clock.max(env.arrival);
+        self.stats.add_time(cat, new_clock - self.clock);
+        self.clock = new_clock;
+        env
+    }
+
+    fn downcast<T: Payload>(env: Envelope) -> T {
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!("type mismatch on receive (tag {}, from {})", env.tag, env.src)
+        })
+    }
+
+    /// Blocking send. The sender pays its injection overhead immediately.
+    pub fn send<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) {
+        let bytes = value.byte_len();
+        let overhead = if self.node() == self.node_of(dst) {
+            self.net.shm_latency
+        } else {
+            self.net.sw_overhead
+        };
+        self.post(dst, tag, Box::new(value), bytes);
+        self.clock += overhead;
+        self.stats.add_time(Category::Send, overhead);
+    }
+
+    /// Blocking receive.
+    pub fn recv<T: Payload>(&mut self, src: usize, tag: Tag) -> T {
+        let env = self.take_env(src, tag, Category::Recv);
+        Self::downcast(env)
+    }
+
+    /// Combined exchange: sends `value` to `dst` and receives from `src`
+    /// (the `MPI_Sendrecv` of the ring-based method, Sec. IV-B1).
+    pub fn sendrecv<T: Payload>(&mut self, dst: usize, src: usize, tag: Tag, value: T) -> T {
+        let bytes = value.byte_len();
+        self.post(dst, tag, Box::new(value), bytes);
+        let env = self.take_env(src, tag, Category::Sendrecv);
+        Self::downcast(env)
+    }
+
+    /// Nonblocking send: message leaves immediately, costs no local time
+    /// (completion semantics live entirely in the receiver's `wait`).
+    pub fn isend<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) -> Request {
+        let bytes = value.byte_len();
+        self.post(dst, tag, Box::new(value), bytes);
+        Request::Send
+    }
+
+    /// Nonblocking receive: returns a handle to complete with [`Comm::wait`].
+    pub fn irecv(&mut self, src: usize, tag: Tag) -> Request {
+        Request::Recv { src, tag }
+    }
+
+    /// Completes a nonblocking operation, accounting blocked time under
+    /// `Wait` (the `MPI_Wait` column of Table I).
+    pub fn wait<T: Payload>(&mut self, req: Request) -> Option<T> {
+        match req {
+            Request::Send => None,
+            Request::Recv { src, tag } => {
+                let env = self.take_env(src, tag, Category::Wait);
+                Some(Self::downcast(env))
+            }
+        }
+    }
+
+    /// Dissemination barrier over all ranks (also synchronizes virtual
+    /// clocks to the group maximum).
+    pub fn barrier(&mut self) {
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let mut k = 1usize;
+        let mut round = 0u64;
+        while k < p {
+            let dst = (self.rank + k) % p;
+            let src = (self.rank + p - k % p) % p;
+            let tag = tag_internal(TAG_BARRIER, round, 0);
+            self.post(dst, tag, Box::new(()), 0);
+            let env = self.take_env(src, tag, Category::Barrier);
+            debug_assert_eq!(env.src, src);
+            k <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Barrier restricted to the ranks of this node (clock-synchronizing).
+    pub fn node_barrier(&mut self) {
+        let ranks: Vec<usize> = self.node_ranks().collect();
+        if ranks.len() <= 1 {
+            return;
+        }
+        let leader = ranks[0];
+        let tag_up = tag_internal(TAG_NODE_BARRIER, 0, self.node() as u64);
+        let tag_down = tag_internal(TAG_NODE_BARRIER, 1, self.node() as u64);
+        if self.rank == leader {
+            for &r in &ranks[1..] {
+                let env = self.take_env(r, tag_up, Category::Barrier);
+                debug_assert_eq!(env.src, r);
+            }
+            for &r in &ranks[1..] {
+                self.post(r, tag_down, Box::new(()), 0);
+            }
+        } else {
+            self.post(leader, tag_up, Box::new(()), 0);
+            let _ = self.take_env(leader, tag_down, Category::Barrier);
+        }
+    }
+}
+
+pub(crate) const TAG_BARRIER: u64 = 1;
+pub(crate) const TAG_NODE_BARRIER: u64 = 2;
+pub(crate) const TAG_BCAST: u64 = 3;
+pub(crate) const TAG_REDUCE: u64 = 4;
+pub(crate) const TAG_ALLTOALLV: u64 = 5;
+pub(crate) const TAG_ALLGATHERV: u64 = 6;
+pub(crate) const TAG_GATHER: u64 = 8;
+
+/// Packs an internal collective tag: `(kind, round, salt)` into the high
+/// tag space so user tags below `1<<48` never collide.
+pub(crate) fn tag_internal(kind: u64, round: u64, salt: u64) -> Tag {
+    (1 << 63) | (kind << 56) | ((round & 0xFFFF) << 40) | (salt & 0xFF_FFFF_FFFF)
+}
+
+/// A simulated cluster: `ranks` ranks packed `ranks_per_node` to a node,
+/// joined by the given network model.
+pub struct Cluster {
+    /// Total MPI ranks.
+    pub ranks: usize,
+    /// Ranks per node (4 on both of the paper's platforms).
+    pub ranks_per_node: usize,
+    /// Interconnect model.
+    pub net: NetworkModel,
+}
+
+impl Cluster {
+    /// Convenience constructor.
+    pub fn new(ranks: usize, ranks_per_node: usize, net: NetworkModel) -> Self {
+        assert!(ranks > 0 && ranks_per_node > 0);
+        Cluster { ranks, ranks_per_node, net }
+    }
+
+    /// A cluster with a free network, for correctness tests.
+    pub fn ideal(ranks: usize) -> Self {
+        Self::new(ranks, ranks.max(1), NetworkModel::ideal())
+    }
+
+    /// Runs `f` on every rank concurrently; returns per-rank results and
+    /// timing reports, ordered by rank.
+    ///
+    /// Panics in any rank propagate (the whole run aborts), which is the
+    /// desired behaviour for tests.
+    pub fn run<R, F>(&self, f: F) -> Vec<(R, RankReport)>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let p = self.ranks;
+        let net = Arc::new(self.net.clone());
+        let shm = Arc::new(crate::shm::ShmRegistry::default());
+
+        // Channel mesh: matrix[src][dst].
+        let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(p);
+        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> = (0..p).map(|_| Vec::new()).collect();
+        for src in 0..p {
+            let mut row_tx = Vec::with_capacity(p);
+            for dst in 0..p {
+                let (tx, rx) = unbounded();
+                row_tx.push(tx);
+                rxs[dst].push(Some(rx));
+            }
+            let _ = src;
+            txs.push(row_tx);
+        }
+
+        let slots: Vec<Mutex<Option<(R, RankReport)>>> = (0..p).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx_row) in rxs.iter_mut().enumerate() {
+                let senders: Vec<Sender<Envelope>> =
+                    (0..p).map(|dst| txs[rank][dst].clone()).collect();
+                let mailboxes: Vec<Mailbox> = rx_row
+                    .iter_mut()
+                    .map(|r| Mailbox { rx: r.take().expect("receiver moved twice"), pending: VecDeque::new() })
+                    .collect();
+                let net = Arc::clone(&net);
+                let shm = Arc::clone(&shm);
+                let f = &f;
+                let slot = &slots[rank];
+                let rpn = self.ranks_per_node;
+                handles.push(s.spawn(move || {
+                    let mut comm = Comm {
+                        rank,
+                        size: p,
+                        ranks_per_node: rpn,
+                        senders,
+                        mailboxes,
+                        net,
+                        shm,
+                        clock: 0.0,
+                        stats: Stats::default(),
+                    };
+                    let out = f(&mut comm);
+                    let report = RankReport {
+                        rank,
+                        virtual_time: comm.clock,
+                        stats: comm.stats.clone(),
+                    };
+                    *slot.lock() = Some((out, report));
+                }));
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+        slots.into_iter().map(|s| s.into_inner().expect("rank produced no result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_moves_data() {
+        let out = Cluster::ideal(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                c.recv::<Vec<f64>>(1, 8)
+            } else {
+                let v = c.recv::<Vec<f64>>(0, 7);
+                let doubled: Vec<f64> = v.iter().map(|x| 2.0 * x).collect();
+                c.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out[0].0, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let out = Cluster::ideal(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 100, vec![1u64]);
+                c.send(1, 200, vec![2u64]);
+                vec![]
+            } else {
+                // Receive in the opposite order of sending.
+                let b = c.recv::<Vec<u64>>(0, 200);
+                let a = c.recv::<Vec<u64>>(0, 100);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out[1].0, vec![1, 2]);
+    }
+
+    #[test]
+    fn sendrecv_ring_rotates() {
+        let p = 5;
+        let out = Cluster::ideal(p).run(|c| {
+            let right = (c.rank() + 1) % p;
+            let left = (c.rank() + p - 1) % p;
+            c.sendrecv(right, left, 1, vec![c.rank() as u64])
+        });
+        for (rank, (v, _)) in out.iter().enumerate() {
+            assert_eq!(v[0], ((rank + p - 1) % p) as u64, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn nonblocking_roundtrip() {
+        let out = Cluster::ideal(3).run(|c| {
+            let p = c.size();
+            let right = (c.rank() + 1) % p;
+            let left = (c.rank() + p - 1) % p;
+            let rreq = c.irecv(left, 9);
+            let sreq = c.isend(right, 9, vec![c.rank() as u64 * 10]);
+            c.compute(1.0e-3);
+            let got: Vec<u64> = c.wait(rreq).expect("recv payload");
+            assert!(c.wait::<Vec<u64>>(sreq).is_none());
+            got
+        });
+        assert_eq!(out[0].0, vec![20]);
+        assert_eq!(out[1].0, vec![0]);
+        assert_eq!(out[2].0, vec![10]);
+    }
+
+    #[test]
+    fn virtual_clock_advances_with_network_costs() {
+        let net = NetworkModel {
+            topology: crate::topology::Topology::FullyConnected,
+            hop_latency: 1e-6,
+            sw_overhead: 0.0,
+            bandwidth: 1e9,
+            shm_bandwidth: f64::INFINITY,
+            shm_latency: 0.0,
+        };
+        // 2 ranks on separate nodes: 1 MB at 1 GB/s = 1 ms + 1 us latency.
+        let out = Cluster::new(2, 1, net).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0u8; 1_000_000]);
+                c.now()
+            } else {
+                let _ = c.recv::<Vec<u8>>(0, 1);
+                c.now()
+            }
+        });
+        assert!((out[1].0 - 1.001e-3).abs() < 1e-9, "receiver time {}", out[1].0);
+        assert!(out[0].0 < 1e-6, "sender returns immediately");
+        assert!(out[1].1.stats.time(Category::Recv) > 0.9e-3);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let out = Cluster::ideal(4).run(|c| {
+            c.compute(c.rank() as f64); // ranks at times 0,1,2,3
+            c.barrier();
+            c.now()
+        });
+        for (t, _) in &out {
+            assert!((*t - 3.0).abs() < 1e-12, "clock {t}");
+        }
+    }
+
+    #[test]
+    fn node_barrier_only_syncs_node() {
+        let out = Cluster::new(4, 2, NetworkModel::ideal()).run(|c| {
+            c.compute(c.rank() as f64);
+            c.node_barrier();
+            c.now()
+        });
+        assert!((out[0].0 - 1.0).abs() < 1e-12);
+        assert!((out[1].0 - 1.0).abs() < 1e-12);
+        assert!((out[2].0 - 3.0).abs() < 1e-12);
+        assert!((out[3].0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_is_tracked() {
+        let out = Cluster::ideal(1).run(|c| {
+            c.compute(2.5);
+            c.now()
+        });
+        assert!((out[0].0 - 2.5).abs() < 1e-12);
+        assert!((out[0].1.stats.time(Category::Compute) - 2.5).abs() < 1e-12);
+        assert!(out[0].1.stats.comm_time() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_type_panics() {
+        Cluster::ideal(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![1.0f64]);
+            } else {
+                let _ = c.recv::<Vec<u64>>(0, 5);
+            }
+        });
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-rank timing and memory accounting.
+//!
+//! Mirrors the measurement categories of the paper's Table I: each MPI
+//! operation class accumulates virtual time separately so the harness can
+//! print the same columns (Alltoallv / Sendrecv / Wait / Allgatherv /
+//! Allreduce / Bcast).
+
+use std::collections::HashMap;
+
+/// Classification of communication operations, matching Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Point-to-point blocking send.
+    Send,
+    /// Point-to-point blocking receive.
+    Recv,
+    /// Combined send+receive exchange (`MPI_Sendrecv`).
+    Sendrecv,
+    /// Completion wait for nonblocking operations (`MPI_Wait`).
+    Wait,
+    /// Broadcast.
+    Bcast,
+    /// All-reduce.
+    Allreduce,
+    /// All-to-all with variable counts.
+    Alltoallv,
+    /// All-gather with variable counts.
+    Allgatherv,
+    /// Barrier synchronization.
+    Barrier,
+    /// Modeled computation time (kernel execution between messages).
+    Compute,
+}
+
+impl Category {
+    /// All communication categories in Table I column order.
+    pub const TABLE1: [Category; 6] = [
+        Category::Alltoallv,
+        Category::Sendrecv,
+        Category::Wait,
+        Category::Allgatherv,
+        Category::Allreduce,
+        Category::Bcast,
+    ];
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Mutable per-rank statistics collected during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    time: HashMap<Category, f64>,
+    count: HashMap<Category, u64>,
+    /// Total bytes moved through point-to-point messages this rank sent.
+    pub bytes_sent: u64,
+    /// Private (per-rank) heap bytes charged via `alloc_private`.
+    pub private_bytes: u64,
+    /// This rank's share of node-shared window bytes.
+    pub shm_bytes: u64,
+    /// Bytes the rank *would* have allocated without the SHM mechanism
+    /// (for the memory-saving comparison of Sec. IV-B3).
+    pub unshared_equivalent_bytes: u64,
+}
+
+impl Stats {
+    /// Adds `dt` seconds to a category.
+    pub fn add_time(&mut self, cat: Category, dt: f64) {
+        debug_assert!(dt >= -1e-12, "negative time increment {dt} for {cat}");
+        *self.time.entry(cat).or_insert(0.0) += dt.max(0.0);
+        *self.count.entry(cat).or_insert(0) += 1;
+    }
+
+    /// Accumulated time for a category.
+    pub fn time(&self, cat: Category) -> f64 {
+        self.time.get(&cat).copied().unwrap_or(0.0)
+    }
+
+    /// Number of operations recorded in a category.
+    pub fn count(&self, cat: Category) -> u64 {
+        self.count.get(&cat).copied().unwrap_or(0)
+    }
+
+    /// Total communication time (everything except `Compute`).
+    pub fn comm_time(&self) -> f64 {
+        self.time
+            .iter()
+            .filter(|(c, _)| **c != Category::Compute)
+            .map(|(_, t)| *t)
+            .sum()
+    }
+
+    /// Merges another rank's stats (used for cluster-wide maxima/averages).
+    pub fn merge_max(&mut self, other: &Stats) {
+        for (c, t) in &other.time {
+            let e = self.time.entry(*c).or_insert(0.0);
+            *e = e.max(*t);
+        }
+        for (c, n) in &other.count {
+            let e = self.count.entry(*c).or_insert(0);
+            *e = (*e).max(*n);
+        }
+        self.bytes_sent = self.bytes_sent.max(other.bytes_sent);
+        self.private_bytes = self.private_bytes.max(other.private_bytes);
+        self.shm_bytes = self.shm_bytes.max(other.shm_bytes);
+        self.unshared_equivalent_bytes =
+            self.unshared_equivalent_bytes.max(other.unshared_equivalent_bytes);
+    }
+}
+
+/// Immutable end-of-run report for one rank.
+#[derive(Clone, Debug)]
+pub struct RankReport {
+    /// The rank this report belongs to.
+    pub rank: usize,
+    /// Final virtual clock value (seconds).
+    pub virtual_time: f64,
+    /// Collected statistics.
+    pub stats: Stats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_by_category() {
+        let mut s = Stats::default();
+        s.add_time(Category::Bcast, 1.5);
+        s.add_time(Category::Bcast, 0.5);
+        s.add_time(Category::Wait, 2.0);
+        assert!((s.time(Category::Bcast) - 2.0).abs() < 1e-15);
+        assert_eq!(s.count(Category::Bcast), 2);
+        assert!((s.comm_time() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compute_excluded_from_comm() {
+        let mut s = Stats::default();
+        s.add_time(Category::Compute, 100.0);
+        s.add_time(Category::Allreduce, 1.0);
+        assert!((s.comm_time() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_takes_maxima() {
+        let mut a = Stats::default();
+        a.add_time(Category::Sendrecv, 1.0);
+        let mut b = Stats::default();
+        b.add_time(Category::Sendrecv, 3.0);
+        b.bytes_sent = 10;
+        a.merge_max(&b);
+        assert!((a.time(Category::Sendrecv) - 3.0).abs() < 1e-15);
+        assert_eq!(a.bytes_sent, 10);
+    }
+
+    #[test]
+    fn table1_has_six_columns() {
+        assert_eq!(Category::TABLE1.len(), 6);
+        assert_eq!(Category::TABLE1[0], Category::Alltoallv);
+        assert_eq!(Category::TABLE1[5], Category::Bcast);
+    }
+}

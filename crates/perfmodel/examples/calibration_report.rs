@@ -1,0 +1,27 @@
+//! Prints every numeric claim of the paper's evaluation next to the
+//! model's value, marking which rows were used to fit the calibration
+//! constants (anchor) and which are genuine predictions.
+//!
+//! ```bash
+//! cargo run -p perfmodel --example calibration_report --release
+//! ```
+
+use perfmodel::calibration::{report, worst_relative_error};
+
+fn main() {
+    println!("{:<44} {:>12} {:>12} {:>8}  fit?", "quantity", "paper", "model", "ratio");
+    println!("{}", "-".repeat(88));
+    for a in report() {
+        println!(
+            "{:<44} {:>12.4} {:>12.4} {:>8.2}  {}",
+            a.label,
+            a.paper,
+            a.model,
+            a.model / a.paper,
+            if a.is_anchor { "anchor" } else { "" }
+        );
+    }
+    println!("{}", "-".repeat(88));
+    println!("worst relative deviation: {:.1}%", 100.0 * worst_relative_error());
+    println!("(anchors were fitted once; all other rows are model predictions)");
+}

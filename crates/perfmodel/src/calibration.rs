@@ -1,0 +1,188 @@
+//! The paper's measured anchor values and a model self-check.
+//!
+//! Everything the evaluation section reports numerically is collected
+//! here as data, with a [`report`] that prices the same configurations
+//! through the model and returns side-by-side rows. The `platform.rs`
+//! constants were fitted against the subset marked `is_anchor`; the rest
+//! are genuine predictions.
+
+use crate::platform::Platform;
+use crate::schedule::{step_time, Variant};
+use crate::workload::Workload;
+
+/// One paper-reported quantity and how to evaluate it in the model.
+#[derive(Clone, Debug)]
+pub struct Anchor {
+    /// Human-readable label (figure/table reference).
+    pub label: &'static str,
+    /// Value the paper reports.
+    pub paper: f64,
+    /// Whether this value was used to fit the calibration constants.
+    pub is_anchor: bool,
+    /// Model evaluation.
+    pub model: f64,
+}
+
+fn speedup(pf: &Platform, atoms: usize, nodes: usize, from: Variant, to: Variant) -> f64 {
+    let w = Workload::silicon(atoms);
+    step_time(pf, &w, nodes, from).total() / step_time(pf, &w, nodes, to).total()
+}
+
+/// Builds the full paper-vs-model comparison.
+pub fn report() -> Vec<Anchor> {
+    let arm = Platform::fugaku_arm();
+    let gpu = Platform::gpu_a100();
+    let mut rows = Vec::new();
+
+    // Fig. 9 stage speedups (384 atoms; 240 ARM / 24 GPU nodes).
+    rows.push(Anchor {
+        label: "Fig9 ARM Diag speedup",
+        paper: 12.86,
+        is_anchor: true,
+        model: speedup(&arm, 384, 240, Variant::Baseline, Variant::Diag),
+    });
+    rows.push(Anchor {
+        label: "Fig9 GPU Diag speedup",
+        paper: 7.57,
+        is_anchor: true,
+        model: speedup(&gpu, 384, 24, Variant::Baseline, Variant::Diag),
+    });
+    rows.push(Anchor {
+        label: "Fig9 ARM ACE speedup",
+        paper: 3.30,
+        is_anchor: false,
+        model: speedup(&arm, 384, 240, Variant::Diag, Variant::Ace),
+    });
+    rows.push(Anchor {
+        label: "Fig9 GPU ACE speedup",
+        paper: 3.60,
+        is_anchor: false,
+        model: speedup(&gpu, 384, 24, Variant::Diag, Variant::Ace),
+    });
+    rows.push(Anchor {
+        label: "Fig9 ARM total speedup",
+        paper: 55.15,
+        is_anchor: false,
+        model: speedup(&arm, 384, 240, Variant::Baseline, Variant::AceAsync),
+    });
+    rows.push(Anchor {
+        label: "Fig9 GPU total speedup",
+        paper: 41.44,
+        is_anchor: false,
+        model: speedup(&gpu, 384, 24, Variant::Baseline, Variant::AceAsync),
+    });
+
+    // Fig. 10 strong-scaling efficiencies.
+    let eff = |pf: &Platform, atoms: usize, n0: usize, n1: usize| {
+        let w = Workload::silicon(atoms);
+        let t0 = step_time(pf, &w, n0, Variant::AceAsync).total();
+        let t1 = step_time(pf, &w, n1, Variant::AceAsync).total();
+        (t0 * n0 as f64) / (t1 * n1 as f64)
+    };
+    rows.push(Anchor {
+        label: "Fig10 ARM efficiency @32x (768 atoms)",
+        paper: 0.368,
+        is_anchor: true,
+        model: eff(&arm, 768, 15, 480),
+    });
+    rows.push(Anchor {
+        label: "Fig10 GPU efficiency @16x (1536 atoms)",
+        paper: 0.229,
+        is_anchor: false,
+        model: eff(&gpu, 1536, 12, 192),
+    });
+
+    // Fig. 11 absolute anchors.
+    rows.push(Anchor {
+        label: "Fig11 GPU 3072 atoms @192 nodes (s/step)",
+        paper: 429.3,
+        is_anchor: true,
+        model: step_time(&gpu, &Workload::silicon(3072), 192, Variant::AceAsync).total(),
+    });
+    rows.push(Anchor {
+        label: "Fig11 GPU 192 atoms @12 nodes (s/step)",
+        paper: 11.40,
+        is_anchor: false,
+        model: step_time(&gpu, &Workload::silicon(192), 12, Variant::AceAsync).total(),
+    });
+
+    // Table I communication ratios (1536 atoms).
+    for (v, paper_arm, paper_gpu) in [
+        (Variant::Ace, 0.1892, 0.2572),
+        (Variant::AceRing, 0.1273, 0.2113),
+        (Variant::AceAsync, 0.1065, 0.1638),
+    ] {
+        rows.push(Anchor {
+            label: match v {
+                Variant::Ace => "TableI ARM comm ratio (ACE)",
+                Variant::AceRing => "TableI ARM comm ratio (Ring)",
+                _ => "TableI ARM comm ratio (Async)",
+            },
+            paper: paper_arm,
+            // Only the ARM Bcast *magnitude* (67 s) informed the fit; the
+            // ratio itself is a prediction.
+            is_anchor: false,
+            model: step_time(&arm, &Workload::silicon(1536), 960, v).comm_ratio(),
+        });
+        rows.push(Anchor {
+            label: match v {
+                Variant::Ace => "TableI GPU comm ratio (ACE)",
+                Variant::AceRing => "TableI GPU comm ratio (Ring)",
+                _ => "TableI GPU comm ratio (Async)",
+            },
+            paper: paper_gpu,
+            is_anchor: false,
+            model: step_time(&gpu, &Workload::silicon(1536), 96, v).comm_ratio(),
+        });
+    }
+    rows
+}
+
+/// Worst relative deviation across all (anchor + prediction) rows.
+pub fn worst_relative_error() -> f64 {
+    report()
+        .iter()
+        .map(|a| ((a.model - a.paper) / a.paper).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_within_tight_band() {
+        // The fitted anchors must sit close to the paper's values —
+        // otherwise the calibration constants have drifted.
+        for a in report().iter().filter(|a| a.is_anchor) {
+            let rel = ((a.model - a.paper) / a.paper).abs();
+            assert!(rel < 0.20, "{}: paper {} vs model {} ({:.0}% off)",
+                a.label, a.paper, a.model, rel * 100.0);
+        }
+    }
+
+    #[test]
+    fn predictions_within_reproduction_band() {
+        // Non-fitted quantities are predictions; the reproduction claim
+        // is shape fidelity — accept up to ~2.5x on any single number.
+        for a in report().iter().filter(|a| !a.is_anchor) {
+            let ratio = a.model / a.paper;
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "{}: paper {} vs model {} (ratio {ratio:.2})",
+                a.label,
+                a.paper,
+                a.model
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_comprehensive() {
+        let r = report();
+        assert!(r.len() >= 16, "expected every evaluation quantity listed, got {}", r.len());
+        assert!(r.iter().any(|a| a.is_anchor));
+        assert!(r.iter().any(|a| !a.is_anchor));
+        assert!(worst_relative_error().is_finite());
+    }
+}

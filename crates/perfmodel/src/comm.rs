@@ -1,0 +1,125 @@
+//! Analytic communication-time formulas.
+//!
+//! Large-message collectives use the pipelined algorithms production MPI
+//! libraries select (scatter+allgather broadcast, reduce-scatter+allgather
+//! all-reduce), whose bandwidth term is `~2·bytes/bw` independent of the
+//! rank count; only the latency term grows with `log2 p`. The small
+//! message shapes match the binomial algorithms `mpisim` executes, so the
+//! integration suite can cross-validate the two at small `p`.
+
+use crate::platform::Platform;
+
+/// Ceil of log2 (number of tree rounds).
+pub fn log2_ceil(p: usize) -> f64 {
+    if p <= 1 {
+        0.0
+    } else {
+        (p as f64).log2().ceil()
+    }
+}
+
+/// One broadcast of `bytes` from a single root to `p` ranks.
+/// Pipelined scatter+allgather: `log2 p` latency rounds plus two
+/// bandwidth passes; the platform's `bcast_penalty` models the global
+/// congestion broadcasts create on the shared network (the effect the
+/// paper's ring method removes).
+pub fn bcast_time(pf: &Platform, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    log2_ceil(p) * pf.net_latency + 2.0 * bytes / pf.net_bw * pf.bcast_penalty
+}
+
+/// Full ring rotation: `p-1` neighbor exchanges of `block_bytes` each
+/// (single-hop on the torus — no congestion penalty).
+pub fn ring_time(pf: &Platform, p: usize, block_bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    (p - 1) as f64 * (pf.net_latency + block_bytes / pf.net_bw)
+}
+
+/// All-reduce of `bytes` (reduce-scatter + allgather).
+pub fn allreduce_time(pf: &Platform, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    2.0 * log2_ceil(p) * pf.net_latency + 2.0 * bytes / pf.net_bw
+}
+
+/// Node-aware all-reduce: only node leaders cross the network.
+pub fn allreduce_node_aware_time(pf: &Platform, p: usize, bytes: f64) -> f64 {
+    let nodes = p.div_ceil(pf.ranks_per_node);
+    allreduce_time(pf, nodes, bytes)
+}
+
+/// Pairwise all-to-all where each rank sends `bytes_total` split over the
+/// other ranks.
+pub fn alltoallv_time(pf: &Platform, p: usize, bytes_total: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    (p - 1) as f64 * pf.net_latency + bytes_total / pf.net_bw
+}
+
+/// Ring allgather of per-rank blocks of `block_bytes`.
+pub fn allgatherv_time(pf: &Platform, p: usize, block_bytes: f64) -> f64 {
+    ring_time(pf, p, block_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> Platform {
+        Platform::fugaku_arm()
+    }
+
+    #[test]
+    fn ring_beats_bcast_for_full_exchange() {
+        // Moving every rank's block to everyone: ring needs p-1 block
+        // steps total; per-root broadcasts pay the congestion penalty and
+        // the double bandwidth pass.
+        let p = 64;
+        let block = 1e8;
+        let ring = ring_time(&pf(), p, block);
+        let bcast_all: f64 = (0..p).map(|_| bcast_time(&pf(), p, block)).sum();
+        assert!(
+            bcast_all > 2.0 * ring,
+            "bcast {bcast_all} should exceed ring {ring} substantially"
+        );
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        assert_eq!(bcast_time(&pf(), 1, 1e9), 0.0);
+        assert_eq!(ring_time(&pf(), 1, 1e9), 0.0);
+        assert_eq!(allreduce_time(&pf(), 1, 1e9), 0.0);
+        assert_eq!(alltoallv_time(&pf(), 1, 1e9), 0.0);
+    }
+
+    #[test]
+    fn bcast_bandwidth_term_independent_of_p() {
+        // Pipelined broadcast: going from 64 to 1024 ranks adds only
+        // latency rounds, not bandwidth passes.
+        let big = 1e9;
+        let t64 = bcast_time(&pf(), 64, big);
+        let t1024 = bcast_time(&pf(), 1024, big);
+        assert!((t1024 - t64) < 0.01 * t64, "{t64} vs {t1024}");
+    }
+
+    #[test]
+    fn node_aware_allreduce_cheaper() {
+        let p = 256; // 64 nodes at 4 ranks/node
+        let flat = allreduce_time(&pf(), p, 1e7);
+        let aware = allreduce_node_aware_time(&pf(), p, 1e7);
+        assert!(aware < flat);
+    }
+
+    #[test]
+    fn times_scale_with_bytes() {
+        let t1 = ring_time(&pf(), 16, 1e6);
+        let t2 = ring_time(&pf(), 16, 1e8);
+        assert!(t2 > 10.0 * t1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Strong- and weak-scaling sweeps (Figs. 10 and 11).
+
+use crate::platform::Platform;
+use crate::schedule::{step_time, StepBreakdown, Variant};
+use crate::workload::Workload;
+
+/// One point of a scaling curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Atom count.
+    pub n_atoms: usize,
+    /// Per-step wall time (s).
+    pub time: f64,
+    /// Full breakdown behind the number.
+    pub breakdown: StepBreakdown,
+}
+
+/// Strong scaling: fixed workload, growing node counts
+/// (Fig. 10: 768 atoms on ARM, 1536 on GPU, fully optimized code).
+pub fn strong_scaling(pf: &Platform, n_atoms: usize, node_counts: &[usize]) -> Vec<ScalePoint> {
+    let w = Workload::silicon(n_atoms);
+    node_counts
+        .iter()
+        .map(|&nodes| ScalePoint {
+            nodes,
+            n_atoms,
+            time: step_time(pf, &w, nodes, Variant::AceAsync).total(),
+            breakdown: step_time(pf, &w, nodes, Variant::AceAsync),
+        })
+        .collect()
+}
+
+/// Parallel efficiency of a strong-scaling series relative to its first
+/// point: `eff = t0·n0 / (t·n)`.
+pub fn parallel_efficiency(series: &[ScalePoint]) -> Vec<f64> {
+    assert!(!series.is_empty());
+    let base = series[0].time * series[0].nodes as f64;
+    series.iter().map(|p| base / (p.time * p.nodes as f64)).collect()
+}
+
+/// Weak scaling: workload grows with machine size
+/// (Fig. 11: nodes = orbitals/4 on ARM, orbitals/40 on GPU).
+pub fn weak_scaling(
+    pf: &Platform,
+    atom_counts: &[usize],
+    nodes_for: impl Fn(usize) -> usize,
+) -> Vec<ScalePoint> {
+    atom_counts
+        .iter()
+        .map(|&n_atoms| {
+            let w = Workload::silicon(n_atoms);
+            let nodes = nodes_for(w.n_orbitals).max(1);
+            let breakdown = step_time(pf, &w, nodes, Variant::AceAsync);
+            ScalePoint { nodes, n_atoms, time: breakdown.total(), breakdown }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_monotone_with_diminishing_returns() {
+        // Fig. 10(a): 768 atoms, 15..480 ARM nodes.
+        let pf = Platform::fugaku_arm();
+        let series = strong_scaling(&pf, 768, &[15, 30, 60, 120, 240, 480]);
+        for pair in series.windows(2) {
+            assert!(pair[1].time < pair[0].time, "time must fall with nodes");
+        }
+        let eff = parallel_efficiency(&series);
+        // Efficiency decays but stays meaningful (paper: 36.8% at 32×).
+        assert!(eff[0] > 0.99);
+        let last = *eff.last().unwrap();
+        assert!(last < 0.9, "efficiency should degrade: {last}");
+        assert!(last > 0.05, "efficiency shouldn't collapse: {last}");
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_band_matches_paper() {
+        // Paper: 36.8% (ARM, 32×) and 22.9% (GPU, 16×). Accept a band.
+        let arm = strong_scaling(&Platform::fugaku_arm(), 768, &[15, 480]);
+        let arm_eff = parallel_efficiency(&arm)[1];
+        assert!(arm_eff > 0.10 && arm_eff < 0.85, "ARM eff {arm_eff}");
+
+        let gpu = strong_scaling(&Platform::gpu_a100(), 1536, &[12, 192]);
+        let gpu_eff = parallel_efficiency(&gpu)[1];
+        assert!(gpu_eff > 0.05 && gpu_eff < 0.75, "GPU eff {gpu_eff}");
+
+        // ARM holds efficiency better (bandwidth-friendlier balance +
+        // torus) — the paper's Sec. VIII-B conclusion.
+        assert!(arm_eff > gpu_eff, "ARM {arm_eff} vs GPU {gpu_eff}");
+    }
+
+    #[test]
+    fn weak_scaling_grows_superlinearly() {
+        // Fig. 11: doubling the system more than doubles per-step time
+        // (ideal line is O(N²) per step at fixed per-node orbital share).
+        let pf = Platform::gpu_a100();
+        let series = weak_scaling(&pf, &[48, 96, 192, 384, 768, 1536, 3072], |orb| orb / 40);
+        for pair in series.windows(2) {
+            let ratio = pair[1].time / pair[0].time;
+            assert!(ratio > 1.3, "weak-scaling step ratio {ratio}");
+            assert!(ratio < 6.0, "ratio should stay near the O(N²) ideal: {ratio}");
+        }
+        // Larger systems approach the theoretical 4x per doubling.
+        let last_ratio = series[6].time / series[5].time;
+        assert!(last_ratio > 1.3, "late ratio {last_ratio}");
+    }
+
+    #[test]
+    fn fock_dominates_at_scale() {
+        // Paper Sec. VIII-C: VxΦ eventually dominates the step.
+        let pf = Platform::gpu_a100();
+        let w = Workload::silicon(3072);
+        let b = step_time(&pf, &w, 192, Variant::AceAsync);
+        let fock_share = b.fock / b.total();
+        assert!(fock_share > 0.3, "Fock share at 3072 atoms: {fock_share}");
+    }
+}

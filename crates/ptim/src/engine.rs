@@ -1,0 +1,282 @@
+//! Shared machinery for the time propagators: density/Hamiltonian
+//! assembly at a given `(Φ, σ, t)` and total-energy evaluation.
+
+use crate::laser::{external_potential, sawtooth_x, LaserPulse};
+use crate::state::TdState;
+use pwdft::density::{density_from_natural, natural_orbitals, NaturalOrbitals};
+use pwdft::energy::{external_energy, kinetic_energy, EnergyBreakdown};
+use pwdft::hamiltonian::{build_hxc, Exchange, Hamiltonian};
+use pwdft::{DftSystem, FockOperator, Wavefunction};
+use pwnum::cmat::CMat;
+
+/// Hybrid-functional parameters for the dynamics.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridParams {
+    /// Mixing fraction α (paper: 0.25). Zero disables Fock exchange.
+    pub alpha: f64,
+    /// Screening ω (bohr⁻¹; HSE06: 0.106).
+    pub omega: f64,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        HybridParams { alpha: 0.25, omega: pwdft::fock::HSE_OMEGA }
+    }
+}
+
+/// Bound engine: system + laser + functional choice.
+pub struct TdEngine<'s> {
+    /// The static system.
+    pub sys: &'s DftSystem,
+    /// The laser pulse.
+    pub laser: LaserPulse,
+    /// Hybrid parameters.
+    pub hybrid: HybridParams,
+    /// Cached sawtooth x-coordinate.
+    x_saw: Vec<f64>,
+}
+
+/// Everything derived from one `(Φ, σ, t)` evaluation point.
+pub struct EvalPoint {
+    /// Natural orbitals and occupations of σ.
+    pub nat: NaturalOrbitals,
+    /// Natural orbitals in real space.
+    pub nat_r: Vec<pwnum::Complex64>,
+    /// Electron density.
+    pub rho: Vec<f64>,
+    /// Hartree + XC potential.
+    pub vhxc: Vec<f64>,
+    /// External (laser) potential.
+    pub vext: Vec<f64>,
+    /// Hartree energy.
+    pub e_hartree: f64,
+    /// Semi-local XC energy.
+    pub e_xc: f64,
+}
+
+impl<'s> TdEngine<'s> {
+    /// Creates the engine.
+    pub fn new(sys: &'s DftSystem, laser: LaserPulse, hybrid: HybridParams) -> Self {
+        let x_saw = sawtooth_x(&sys.grid);
+        TdEngine { sys, laser, hybrid, x_saw }
+    }
+
+    /// The laser potential at time `t`.
+    pub fn vext_at(&self, t: f64) -> Vec<f64> {
+        let mut v = vec![0.0; self.sys.grid.len()];
+        external_potential(&self.x_saw, self.laser.field(t), &mut v);
+        v
+    }
+
+    /// Evaluates density, potentials and natural orbitals at `(Φ, σ, t)`.
+    pub fn eval(&self, phi: &Wavefunction, sigma: &CMat, t: f64) -> EvalPoint {
+        let nat = natural_orbitals(phi, sigma);
+        let rho = density_from_natural(&self.sys.grid, &self.sys.fft, &nat);
+        let hxc = build_hxc(&self.sys.grid, &self.sys.fft, &rho);
+        let nat_r = nat.phi.to_real_all(&self.sys.fft);
+        EvalPoint {
+            nat,
+            nat_r,
+            rho,
+            vhxc: hxc.vhxc,
+            vext: self.vext_at(t),
+            e_hartree: hxc.e_hartree,
+            e_xc: hxc.e_xc,
+        }
+    }
+
+    /// Builds the dense-exchange Hamiltonian at an evaluation point.
+    /// Every `apply` of the result performs one full `VxΦ` (the paper's
+    /// expensive operation).
+    pub fn hamiltonian_dense(&self, ev: &EvalPoint) -> Hamiltonian<'s> {
+        let exchange = if self.hybrid.alpha != 0.0 {
+            Exchange::Dense { nat_r: ev.nat_r.clone(), occ: ev.nat.occ.clone() }
+        } else {
+            Exchange::None
+        };
+        let fock = if self.hybrid.alpha != 0.0 {
+            Some(FockOperator::new(&self.sys.grid, self.hybrid.omega))
+        } else {
+            None
+        };
+        Hamiltonian::new(
+            &self.sys.grid,
+            &self.sys.vloc,
+            &ev.vhxc,
+            &ev.vext,
+            self.hybrid.alpha,
+            exchange,
+            fock,
+        )
+    }
+
+    /// Builds a Hamiltonian using a *fixed* ACE exchange operator (the
+    /// inner-loop Hamiltonian of PT-IM-ACE).
+    pub fn hamiltonian_ace(&self, ev: &EvalPoint, ace: pwdft::AceOperator) -> Hamiltonian<'s> {
+        Hamiltonian::new(
+            &self.sys.grid,
+            &self.sys.vloc,
+            &ev.vhxc,
+            &ev.vext,
+            self.hybrid.alpha,
+            Exchange::Ace(ace),
+            None,
+        )
+    }
+
+    /// Full exchange images `W = VxΦ` for the state (used to build ACE).
+    /// Returns `(W, E_x)` with `W` masked to the cutoff sphere.
+    pub fn exchange_images(&self, phi: &Wavefunction, sigma: &CMat) -> (Wavefunction, f64) {
+        let fock = FockOperator::new(&self.sys.grid, self.hybrid.omega);
+        let nat = natural_orbitals(phi, sigma);
+        let nat_r = nat.phi.to_real_all(&self.sys.fft);
+        let phi_r = phi.to_real_all(&self.sys.fft);
+        let vx_r = fock.apply_diag(&nat_r, &nat.occ, &phi_r);
+        // Exchange energy in the natural basis: Ex = Σ d_i <φ̃_i|Vx|φ̃_i>.
+        let vx_nat = fock.apply_diag(&nat_r, &nat.occ, &nat_r);
+        let ex = fock.exchange_energy(&nat_r, &nat.occ, &vx_nat, self.sys.grid.dv());
+        let mut w = Wavefunction::from_real(&self.sys.grid, &self.sys.fft, vx_r);
+        w.mask(&self.sys.grid);
+        (w, ex)
+    }
+
+    /// Electronic dipole along x: `d_x = -∫ x_saw ρ dV`.
+    pub fn dipole_x(&self, rho: &[f64]) -> f64 {
+        -self
+            .x_saw
+            .iter()
+            .zip(rho)
+            .map(|(x, r)| x * r)
+            .sum::<f64>()
+            * self.sys.grid.dv()
+    }
+
+    /// Total energy of a state (hartree). One full Fock evaluation when
+    /// hybrid exchange is active.
+    pub fn total_energy(&self, state: &TdState) -> EnergyBreakdown {
+        let ev = self.eval(&state.phi, &state.sigma, state.time);
+        let exact_exchange = if self.hybrid.alpha != 0.0 {
+            let fock = FockOperator::new(&self.sys.grid, self.hybrid.omega);
+            let vx_nat = fock.apply_diag(&ev.nat_r, &ev.nat.occ, &ev.nat_r);
+            self.hybrid.alpha
+                * fock.exchange_energy(&ev.nat_r, &ev.nat.occ, &vx_nat, self.sys.grid.dv())
+        } else {
+            0.0
+        };
+        EnergyBreakdown {
+            kinetic: kinetic_energy(&self.sys.grid, &ev.nat.phi, &ev.nat.occ),
+            eei: self.sys.eei_energy(&ev.rho),
+            hartree: ev.e_hartree,
+            xc: ev.e_xc,
+            exact_exchange,
+            external: external_energy(&self.sys.grid, &ev.vext, &ev.rho),
+            ewald: self.sys.e_ewald,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdft::Cell;
+    use pwnum::c64;
+
+    fn engine_fixture(alpha: f64) -> (DftSystem, LaserPulse) {
+        let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.0, [6, 6, 6]);
+        let _ = alpha;
+        (sys, LaserPulse::off())
+    }
+
+    fn toy_state(sys: &DftSystem, n: usize) -> TdState {
+        let phi = Wavefunction::random(&sys.grid, n, 17);
+        let mut sigma = CMat::from_real_diag(&vec![0.6; n]);
+        sigma[(0, 1)] = c64(0.1, 0.05);
+        sigma[(1, 0)] = c64(0.1, -0.05);
+        TdState { phi, sigma, time: 0.0 }
+    }
+
+    #[test]
+    fn eval_density_integrates_to_trace() {
+        let (sys, laser) = engine_fixture(0.0);
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1 });
+        let st = toy_state(&sys, 4);
+        let ev = eng.eval(&st.phi, &st.sigma, 0.0);
+        let ne = pwdft::density::electron_count(&sys.grid, &ev.rho);
+        assert!((ne - st.electron_count()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dipole_of_symmetric_density_vanishes() {
+        let (sys, laser) = engine_fixture(0.0);
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1 });
+        // Uniform density: zero dipole by symmetry of the sawtooth.
+        let rho = vec![1.0; sys.grid.len()];
+        assert!(eng.dipole_x(&rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hamiltonian_hermitian_with_field() {
+        let (sys, _) = engine_fixture(0.0);
+        let laser = LaserPulse { e0: 0.02, omega: 0.12, t_center: 10.0, t_width: 5.0 };
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2 });
+        let st = toy_state(&sys, 3);
+        let ev = eng.eval(&st.phi, &st.sigma, 10.0);
+        let h = eng.hamiltonian_dense(&ev);
+        let hm = {
+            let hphi = h.apply(&st.phi);
+            st.phi.overlap(&hphi)
+        };
+        assert!(hm.hermiticity_error() < 1e-8, "err {}", hm.hermiticity_error());
+    }
+
+    #[test]
+    fn total_energy_gauge_invariance() {
+        // E must be invariant under Φ -> ΦU, σ -> U^H σ U (same density
+        // matrix P).
+        let (sys, laser) = engine_fixture(0.25);
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2 });
+        let st = toy_state(&sys, 3);
+        let e0 = eng.total_energy(&st).total();
+
+        // Unitary from a random Hermitian.
+        let h = pwnum::cmat::random_hermitian(3, {
+            let mut s = 33u64;
+            move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(11);
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            }
+        });
+        let u = pwnum::eigh(&h).vectors;
+        let mut st2 = st.clone();
+        st2.phi = st.phi.rotated(&u);
+        // σ' = U^H σ U.
+        let su = st.sigma.matmul(&u);
+        st2.sigma = pwnum::gemm::gemm(
+            pwnum::Complex64::ONE,
+            &u,
+            pwnum::gemm::Op::ConjTrans,
+            &su,
+            pwnum::gemm::Op::None,
+            pwnum::Complex64::ZERO,
+            None,
+        );
+        let e1 = eng.total_energy(&st2).total();
+        assert!((e0 - e1).abs() < 1e-8, "gauge dependence: {e0} vs {e1}");
+    }
+
+    #[test]
+    fn exchange_images_build_valid_ace() {
+        let (sys, laser) = engine_fixture(0.25);
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2 });
+        let st = toy_state(&sys, 3);
+        let (w, ex) = eng.exchange_images(&st.phi, &st.sigma);
+        assert!(ex < 0.0);
+        let ace = pwdft::AceOperator::build(&st.phi, &w);
+        // ACE reproduces W on the span.
+        let mut out = vec![pwnum::Complex64::ZERO; st.phi.data.len()];
+        ace.apply_add(&st.phi, 1.0, &mut out);
+        let diff = pwnum::cvec::max_abs_diff(&out, &w.data);
+        let scale = w.data.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        assert!(diff < 1e-8 * scale.max(1e-10), "{diff}");
+    }
+}

@@ -1,0 +1,145 @@
+//! The external laser field (length gauge).
+//!
+//! Paper Sec. VI: a 380 nm pulse, Gaussian envelope, 30 fs simulation.
+//! In the length gauge the perturbation is `V_ext(r, t) = E(t)·x_saw(r)`
+//! with the sawtooth periodic position operator (the standard choice for
+//! periodic cells in PWDFT).
+
+/// Attoseconds per atomic time unit.
+pub const AU_TIME_AS: f64 = 24.188_843_265_857;
+/// Femtoseconds per atomic time unit.
+pub const AU_TIME_FS: f64 = AU_TIME_AS * 1e-3;
+/// Photon energy (hartree) of a wavelength in nm.
+pub fn photon_energy_ha(lambda_nm: f64) -> f64 {
+    // E[eV] = 1239.841984 / λ[nm]; 1 Ha = 27.211386245988 eV.
+    1239.841_984 / lambda_nm / 27.211_386_245_988
+}
+
+/// A linearly-polarized Gaussian-envelope laser pulse along x.
+#[derive(Clone, Debug)]
+pub struct LaserPulse {
+    /// Peak field strength (a.u.).
+    pub e0: f64,
+    /// Carrier angular frequency (hartree).
+    pub omega: f64,
+    /// Envelope center (a.u. time).
+    pub t_center: f64,
+    /// Envelope Gaussian width (a.u. time).
+    pub t_width: f64,
+}
+
+impl LaserPulse {
+    /// The paper's pulse: 380 nm carrier, centered mid-simulation.
+    /// `total_fs` is the simulated duration (30 fs in the paper).
+    pub fn paper_pulse(e0: f64, total_fs: f64) -> LaserPulse {
+        LaserPulse {
+            e0,
+            omega: photon_energy_ha(380.0),
+            t_center: 0.5 * total_fs / AU_TIME_FS,
+            t_width: 0.15 * total_fs / AU_TIME_FS,
+        }
+    }
+
+    /// Electric field at time `t` (a.u.).
+    pub fn field(&self, t: f64) -> f64 {
+        let x = (t - self.t_center) / self.t_width;
+        self.e0 * (-0.5 * x * x).exp() * (self.omega * (t - self.t_center)).sin()
+    }
+
+    /// A zero pulse (field-free propagation).
+    pub fn off() -> LaserPulse {
+        LaserPulse { e0: 0.0, omega: 1.0, t_center: 0.0, t_width: 1.0 }
+    }
+}
+
+/// Sawtooth periodic x-coordinate on the grid, shifted so its *grid*
+/// average vanishes exactly (grid points are left-aligned, so the naive
+/// `x − L/2` carries a spurious `−L/2n` offset that would leak into the
+/// dipole).
+pub fn sawtooth_x(grid: &pwdft::PwGrid) -> Vec<f64> {
+    let mut x: Vec<f64> = (0..grid.len()).map(|i| grid.r_coord(i)[0]).collect();
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+    x
+}
+
+/// The external potential `V_ext(r) = E(t) · x_saw(r)` on the grid.
+pub fn external_potential(x_saw: &[f64], field: f64, out: &mut [f64]) {
+    assert_eq!(x_saw.len(), out.len());
+    for (o, &x) in out.iter_mut().zip(x_saw) {
+        *o = field * x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwdft::{Cell, PwGrid};
+
+    #[test]
+    fn photon_energy_of_380nm() {
+        // 380 nm -> 3.2627 eV -> 0.11990 Ha.
+        let e = photon_energy_ha(380.0);
+        assert!((e - 0.1199).abs() < 1e-3, "got {e}");
+    }
+
+    #[test]
+    fn pulse_envelope_peaks_at_center() {
+        let p = LaserPulse::paper_pulse(0.01, 30.0);
+        // The envelope magnitude at t_center ± 3σ is tiny.
+        let far = p.field(p.t_center + 4.0 * p.t_width).abs();
+        assert!(far < 0.01 * p.e0.abs() + 1e-12);
+        // Near the center the field reaches a significant fraction of e0.
+        let mut maxf = 0.0f64;
+        for k in 0..2000 {
+            let t = p.t_center - p.t_width + 2.0 * p.t_width * k as f64 / 2000.0;
+            maxf = maxf.max(p.field(t).abs());
+        }
+        assert!(maxf > 0.8 * p.e0, "peak field {maxf}");
+    }
+
+    #[test]
+    fn off_pulse_is_zero() {
+        let p = LaserPulse::off();
+        for k in 0..10 {
+            assert_eq!(p.field(k as f64 * 10.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn sawtooth_has_zero_average() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let grid = PwGrid::with_dims(&cell, 2.0, [6, 6, 6]);
+        let x = sawtooth_x(&grid);
+        let mean: f64 = x.iter().sum::<f64>() / x.len() as f64;
+        assert!(mean.abs() < 1e-10, "mean {mean}");
+        // Range spans one cell length minus one grid spacing.
+        let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let spacing = grid.lengths[0] / 6.0;
+        assert!((max - min - (grid.lengths[0] - spacing)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_potential_scales_with_field() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let grid = PwGrid::with_dims(&cell, 2.0, [4, 4, 4]);
+        let x = sawtooth_x(&grid);
+        let mut v = vec![0.0; grid.len()];
+        external_potential(&x, 2.0, &mut v);
+        for (vi, xi) in v.iter().zip(&x) {
+            assert!((vi - 2.0 * xi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn time_unit_conversions() {
+        // 50 as (the paper's PT-IM time step) ≈ 2.067 a.u.
+        let dt_au = 50.0 / AU_TIME_AS;
+        assert!((dt_au - 2.067).abs() < 0.01);
+        // 30 fs ≈ 1240 a.u.
+        assert!((30.0 / AU_TIME_FS - 1240.2).abs() < 1.0);
+    }
+}

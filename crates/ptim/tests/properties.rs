@@ -1,0 +1,136 @@
+//! Property-based tests for the PT-IM state dynamics.
+
+use proptest::prelude::*;
+use ptim::propagate::{midpoint, pt_update};
+use ptim::{HybridParams, LaserPulse, TdEngine, TdState};
+use pwdft::{Cell, DftSystem, Wavefunction};
+use pwnum::cmat::CMat;
+use pwnum::complex::{c64, Complex64};
+use pwnum::eigh;
+
+fn system() -> DftSystem {
+    DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.0, [6, 6, 6])
+}
+
+fn make_sigma(n: usize, raw: &[f64]) -> CMat {
+    let mut h = CMat::zeros(n, n);
+    let mut k = 0;
+    for i in 0..n {
+        for j in i..n {
+            let re = raw[k % raw.len()];
+            let im = raw[(k + 1) % raw.len()];
+            k += 2;
+            if i == j {
+                h[(i, j)] = Complex64::from_re(re);
+            } else {
+                h[(i, j)] = c64(re, im);
+                h[(j, i)] = c64(re, -im);
+            }
+        }
+    }
+    let e = eigh(&h);
+    let d: Vec<f64> = e.values.iter().map(|w| 1.0 / (1.0 + (3.0 * w).exp())).collect();
+    let dm = CMat::from_real_diag(&d);
+    let vd = e.vectors.matmul(&dm);
+    pwnum::gemm::gemm(
+        Complex64::ONE,
+        &vd,
+        pwnum::gemm::Op::None,
+        &e.vectors,
+        pwnum::gemm::Op::ConjTrans,
+        Complex64::ZERO,
+        None,
+    )
+    .hermitian_part()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pt_update_preserves_trace_and_hermiticity(
+        raw in proptest::collection::vec(-1.0f64..1.0, 24),
+        seed in 0u64..300,
+        dt in 0.01f64..1.0,
+    ) {
+        let sys = system();
+        let mut phi = Wavefunction::random(&sys.grid, 3, seed);
+        phi.orthonormalize_lowdin();
+        let sigma = make_sigma(3, &raw);
+        let st = TdState { phi, sigma, time: 0.0 };
+        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+        let ev = eng.eval(&st.phi, &st.sigma, 0.0);
+        let h = eng.hamiltonian_dense(&ev);
+        let (phi_next, sigma_next) = pt_update(&st, &h, &st.phi, &st.sigma, dt);
+
+        // Trace conservation (commutator is traceless) and Hermiticity.
+        prop_assert!((sigma_next.trace().re - st.sigma.trace().re).abs() < 1e-9);
+        prop_assert!(sigma_next.trace().im.abs() < 1e-10);
+        prop_assert!(sigma_next.hermiticity_error() < 1e-9);
+
+        // The parallel-transport constraint: the orbital change is
+        // orthogonal to span(Φ).
+        let mut diff = Wavefunction::zeros_like(&st.phi);
+        pwnum::bands::lincomb(
+            Complex64::ONE,
+            &phi_next.data,
+            Complex64::from_re(-1.0),
+            &st.phi.data,
+            &mut diff.data,
+        );
+        let proj = st.phi.overlap(&diff);
+        prop_assert!(proj.fro_norm() < 1e-8, "in-span drift {}", proj.fro_norm());
+    }
+
+    #[test]
+    fn midpoint_is_symmetric_and_affine(
+        raw_a in proptest::collection::vec(-1.0f64..1.0, 24),
+        raw_b in proptest::collection::vec(-1.0f64..1.0, 24),
+        seed in 0u64..300,
+    ) {
+        let sys = system();
+        let phi_a = Wavefunction::random(&sys.grid, 3, seed);
+        let phi_b = Wavefunction::random(&sys.grid, 3, seed + 1);
+        let a = TdState { phi: phi_a, sigma: make_sigma(3, &raw_a), time: 0.0 };
+        let b = TdState { phi: phi_b, sigma: make_sigma(3, &raw_b), time: 0.0 };
+        let (pm_ab, sm_ab) = midpoint(&a, &b);
+        let (pm_ba, sm_ba) = midpoint(&b, &a);
+        prop_assert!(pm_ab.max_abs_diff(&pm_ba) < 1e-14);
+        prop_assert!(sm_ab.max_abs_diff(&sm_ba) < 1e-14);
+        // σ midpoint trace is the average trace.
+        let expect = 0.5 * (a.sigma.trace().re + b.sigma.trace().re);
+        prop_assert!((sm_ab.trace().re - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_energy_gauge_invariant(
+        raw in proptest::collection::vec(-1.0f64..1.0, 24),
+        rot in proptest::collection::vec(-1.0f64..1.0, 24),
+        seed in 0u64..200,
+    ) {
+        let sys = system();
+        let mut phi = Wavefunction::random(&sys.grid, 3, seed);
+        phi.orthonormalize_lowdin();
+        let sigma = make_sigma(3, &raw);
+        let st = TdState { phi, sigma, time: 0.0 };
+        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.25, omega: 0.2 });
+        let e0 = eng.total_energy(&st).total();
+
+        // Gauge transform: Φ' = ΦU, σ' = U^H σ U.
+        let u = eigh(&make_sigma(3, &rot)).vectors;
+        let mut st2 = st.clone();
+        st2.phi = st.phi.rotated(&u);
+        let su = st.sigma.matmul(&u);
+        st2.sigma = pwnum::gemm::gemm(
+            Complex64::ONE,
+            &u,
+            pwnum::gemm::Op::ConjTrans,
+            &su,
+            pwnum::gemm::Op::None,
+            Complex64::ZERO,
+            None,
+        );
+        let e1 = eng.total_energy(&st2).total();
+        prop_assert!((e0 - e1).abs() < 1e-7, "gauge dependence {e0} vs {e1}");
+    }
+}

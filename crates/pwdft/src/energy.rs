@@ -1,0 +1,117 @@
+//! Total-energy bookkeeping.
+//!
+//! `E = E_kin + E_ei + E_H + E_xc + α·E_x + E_ext + E_Ewald`, each piece
+//! computed from the same density/orbitals the Hamiltonian uses — which
+//! is what makes the field-free rt-TDDFT total energy a conserved
+//! quantity (the consistency test in the integration suite).
+
+use crate::gvec::PwGrid;
+use crate::wavefunction::Wavefunction;
+
+/// Itemized total energy (hartree).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Kinetic energy `2 Σ_i d_i <φ_i|T|φ_i>`.
+    pub kinetic: f64,
+    /// Electron–ion energy (local pseudopotential, incl. alpha-Z term).
+    pub eei: f64,
+    /// Hartree energy.
+    pub hartree: f64,
+    /// Semi-local XC energy.
+    pub xc: f64,
+    /// Hybrid exchange contribution `α·E_x` (0 for semilocal runs).
+    pub exact_exchange: f64,
+    /// External (laser) field energy `∫ V_ext ρ dV`.
+    pub external: f64,
+    /// Ion–ion Ewald energy.
+    pub ewald: f64,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all contributions.
+    pub fn total(&self) -> f64 {
+        self.kinetic
+            + self.eei
+            + self.hartree
+            + self.xc
+            + self.exact_exchange
+            + self.external
+            + self.ewald
+    }
+}
+
+impl std::fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "  kinetic        : {:+.8} Ha", self.kinetic)?;
+        writeln!(f, "  electron-ion   : {:+.8} Ha", self.eei)?;
+        writeln!(f, "  Hartree        : {:+.8} Ha", self.hartree)?;
+        writeln!(f, "  XC (semilocal) : {:+.8} Ha", self.xc)?;
+        writeln!(f, "  exact exchange : {:+.8} Ha", self.exact_exchange)?;
+        writeln!(f, "  external field : {:+.8} Ha", self.external)?;
+        writeln!(f, "  Ewald (ion-ion): {:+.8} Ha", self.ewald)?;
+        write!(f, "  TOTAL          : {:+.8} Ha", self.total())
+    }
+}
+
+/// Kinetic energy `spin · Σ_i d_i <φ_i|T|φ_i>` of a block with (natural)
+/// occupations.
+pub fn kinetic_energy(grid: &PwGrid, phi: &Wavefunction, occ: &[f64]) -> f64 {
+    assert_eq!(occ.len(), phi.n_bands);
+    let mut e = 0.0;
+    let mut tband = vec![pwnum::Complex64::ZERO; phi.ng];
+    for (i, &d) in occ.iter().enumerate() {
+        if d.abs() < 1e-15 {
+            continue;
+        }
+        grid.apply_kinetic(phi.band(i), &mut tband);
+        e += d * pwnum::cvec::dotc(phi.band(i), &tband).re * phi.ip_scale;
+    }
+    crate::density::SPIN_FACTOR * e
+}
+
+/// External-field energy `∫ V_ext ρ dV`.
+pub fn external_energy(grid: &PwGrid, vext: &[f64], rho: &[f64]) -> f64 {
+    vext.iter().zip(rho).map(|(v, r)| v * r).sum::<f64>() * grid.dv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Cell;
+
+    #[test]
+    fn total_is_sum() {
+        let e = EnergyBreakdown {
+            kinetic: 1.0,
+            eei: -2.0,
+            hartree: 0.5,
+            xc: -0.7,
+            exact_exchange: -0.1,
+            external: 0.01,
+            ewald: -3.0,
+        };
+        assert!((e.total() + 4.29).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinetic_energy_positive() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let grid = crate::gvec::PwGrid::with_dims(&cell, 3.0, [8, 8, 8]);
+        let wf = Wavefunction::random(&grid, 3, 2);
+        let e = kinetic_energy(&grid, &wf, &[1.0, 0.5, 0.25]);
+        assert!(e > 0.0);
+        // Scaling: doubling occupations doubles the energy.
+        let e2 = kinetic_energy(&grid, &wf, &[2.0, 1.0, 0.5]);
+        assert!((e2 - 2.0 * e).abs() < 1e-10);
+    }
+
+    #[test]
+    fn external_energy_of_uniform_field() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let grid = crate::gvec::PwGrid::with_dims(&cell, 3.0, [4, 4, 4]);
+        let vext = vec![0.3; grid.len()];
+        let rho = vec![2.0; grid.len()];
+        let e = external_energy(&grid, &vext, &rho);
+        assert!((e - 0.3 * 2.0 * grid.volume()).abs() < 1e-9);
+    }
+}

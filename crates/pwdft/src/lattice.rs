@@ -1,0 +1,179 @@
+//! Supercell geometry and atomic configurations.
+//!
+//! The paper's physical systems are diamond-cubic silicon supercells
+//! (8 atoms per cubic unit cell, a = 5.43 Å) from 48 to 3072 atoms
+//! (Sec. VI). Cells here are orthorhombic — all silicon supercells built
+//! from cubic unit cells are — which keeps the G-vector algebra diagonal.
+
+/// Hartree atomic units: 1 Å in bohr.
+pub const ANGSTROM: f64 = 1.0 / 0.529177210903;
+/// Silicon cubic lattice constant (5.43 Å) in bohr.
+pub const SI_LATTICE_BOHR: f64 = 5.43 * ANGSTROM;
+/// Valence charge of the silicon pseudo-atom (3s² 3p²).
+pub const SI_VALENCE: f64 = 4.0;
+
+/// An atomic species (only silicon is used by the paper, but the
+/// pseudopotential layer is parameterized on this).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Species {
+    /// Valence charge Z_v.
+    pub z_valence: f64,
+    /// Gaussian width of the compensating core charge (bohr).
+    pub rc: f64,
+    /// Short-range repulsive core amplitude (hartree·bohr³).
+    pub core_amp: f64,
+    /// Short-range repulsive core width (bohr).
+    pub core_width: f64,
+}
+
+impl Species {
+    /// Analytic soft local pseudopotential for silicon
+    /// (Appelbaum–Hamann-like; see DESIGN.md §2 for the substitution
+    /// rationale).
+    pub fn silicon() -> Species {
+        Species { z_valence: SI_VALENCE, rc: 1.1, core_amp: 6.0, core_width: 0.8 }
+    }
+}
+
+/// An atom: species + position in bohr (Cartesian).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Atom {
+    /// Species parameters.
+    pub species: Species,
+    /// Cartesian position (bohr), inside the cell.
+    pub pos: [f64; 3],
+}
+
+/// An orthorhombic periodic supercell with a basis of atoms.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Edge lengths (bohr).
+    pub lengths: [f64; 3],
+    /// Atoms in the cell.
+    pub atoms: Vec<Atom>,
+}
+
+impl Cell {
+    /// Cell volume Ω (bohr³).
+    pub fn volume(&self) -> f64 {
+        self.lengths[0] * self.lengths[1] * self.lengths[2]
+    }
+
+    /// Total valence electron count.
+    pub fn n_electrons(&self) -> f64 {
+        self.atoms.iter().map(|a| a.species.z_valence).sum()
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Builds an `n1 x n2 x n3` supercell of the 8-atom diamond-cubic
+    /// silicon unit cell (paper Sec. VI; 48 atoms = 1×2×3, 3072 = 6×8×8).
+    pub fn silicon_supercell(n1: usize, n2: usize, n3: usize) -> Cell {
+        assert!(n1 > 0 && n2 > 0 && n3 > 0);
+        let a = SI_LATTICE_BOHR;
+        let frac: [[f64; 3]; 8] = [
+            [0.0, 0.0, 0.0],
+            [0.0, 0.5, 0.5],
+            [0.5, 0.0, 0.5],
+            [0.5, 0.5, 0.0],
+            [0.25, 0.25, 0.25],
+            [0.25, 0.75, 0.75],
+            [0.75, 0.25, 0.75],
+            [0.75, 0.75, 0.25],
+        ];
+        let si = Species::silicon();
+        let mut atoms = Vec::with_capacity(8 * n1 * n2 * n3);
+        for c1 in 0..n1 {
+            for c2 in 0..n2 {
+                for c3 in 0..n3 {
+                    for f in &frac {
+                        atoms.push(Atom {
+                            species: si,
+                            pos: [
+                                (f[0] + c1 as f64) * a,
+                                (f[1] + c2 as f64) * a,
+                                (f[2] + c3 as f64) * a,
+                            ],
+                        });
+                    }
+                }
+            }
+        }
+        Cell { lengths: [n1 as f64 * a, n2 as f64 * a, n3 as f64 * a], atoms }
+    }
+
+    /// Number of occupied Kohn–Sham orbitals (spin-degenerate).
+    pub fn n_occupied(&self) -> usize {
+        let ne = self.n_electrons();
+        ((ne / 2.0).ceil()) as usize
+    }
+
+    /// Paper's band-count convention: `N = Ne/2 + extra` where
+    /// `extra = n_atoms` in accuracy tests and `n_atoms/2` otherwise.
+    pub fn n_bands(&self, extra_per_atom: f64) -> usize {
+        self.n_occupied() + (extra_per_atom * self.n_atoms() as f64).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cell_has_8_atoms() {
+        let c = Cell::silicon_supercell(1, 1, 1);
+        assert_eq!(c.n_atoms(), 8);
+        assert!((c.n_electrons() - 32.0).abs() < 1e-12);
+        assert_eq!(c.n_occupied(), 16);
+        let a = SI_LATTICE_BOHR;
+        assert!((c.volume() - a * a * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_supercells() {
+        // 48-atom = 1x2x3; 384-atom = 4x4x3 (any factorization of 48 cells);
+        // here check the sizes used in the paper's tables.
+        assert_eq!(Cell::silicon_supercell(1, 2, 3).n_atoms(), 48);
+        assert_eq!(Cell::silicon_supercell(4, 4, 3).n_atoms(), 384);
+        assert_eq!(Cell::silicon_supercell(4, 6, 8).n_atoms(), 1536);
+        assert_eq!(Cell::silicon_supercell(6, 8, 8).n_atoms(), 3072);
+    }
+
+    #[test]
+    fn band_count_conventions() {
+        // Paper Sec. VI: 1536 atoms -> N = 1536*2 + 768 = 3840.
+        let c = Cell::silicon_supercell(4, 6, 8);
+        assert_eq!(c.n_bands(0.5), 3840);
+        // Accuracy tests: 8 atoms, extra = n_atom -> 16 + 8 = 24 states.
+        let c8 = Cell::silicon_supercell(1, 1, 1);
+        assert_eq!(c8.n_bands(1.0), 24);
+    }
+
+    #[test]
+    fn atoms_inside_cell() {
+        let c = Cell::silicon_supercell(2, 1, 1);
+        for at in &c.atoms {
+            for d in 0..3 {
+                assert!(at.pos[d] >= 0.0 && at.pos[d] < c.lengths[d] + 1e-9);
+            }
+        }
+        // Minimum interatomic distance in diamond Si is sqrt(3)/4 * a.
+        let dmin_expect = 3f64.sqrt() / 4.0 * SI_LATTICE_BOHR;
+        let mut dmin = f64::INFINITY;
+        for i in 0..c.n_atoms() {
+            for j in i + 1..c.n_atoms() {
+                let mut d2 = 0.0;
+                for k in 0..3 {
+                    let mut dx = (c.atoms[i].pos[k] - c.atoms[j].pos[k]).abs();
+                    dx = dx.min(c.lengths[k] - dx);
+                    d2 += dx * dx;
+                }
+                dmin = dmin.min(d2.sqrt());
+            }
+        }
+        assert!((dmin - dmin_expect).abs() < 1e-6);
+    }
+}

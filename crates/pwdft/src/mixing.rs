@@ -1,0 +1,209 @@
+//! Anderson (Pulay/DIIS-type) mixing for fixed-point iterations.
+//!
+//! Used in two places, exactly as in the paper: density mixing in the
+//! ground-state SCF, and the wavefunction/σ fixed-point of the PT-IM
+//! propagator (Alg. 1 line 8, maximum history 20 per Sec. VI).
+//!
+//! For `x = T(x)` with residual `r(x) = T(x) − x`, the update combines
+//! the stored history to minimize the extrapolated residual:
+//! `x⁺ = x̄ + β r̄` with the bar quantities being the optimal history
+//! combination (Tikhonov-regularized least squares; robust when the
+//! history becomes linearly dependent near convergence).
+
+use pwnum::cmat::CMat;
+use pwnum::complex::Complex64;
+use pwnum::lstsq::lstsq;
+
+/// Anderson mixer over complex vectors.
+pub struct AndersonMixer {
+    /// Maximum history depth (paper: 20).
+    depth: usize,
+    /// Damping β applied to the residual step.
+    beta: f64,
+    x_hist: Vec<Vec<Complex64>>,
+    r_hist: Vec<Vec<Complex64>>,
+}
+
+impl AndersonMixer {
+    /// Creates a mixer with history `depth ≥ 1` and damping `beta`.
+    pub fn new(depth: usize, beta: f64) -> Self {
+        assert!(depth >= 1);
+        assert!(beta > 0.0 && beta <= 1.0);
+        AndersonMixer { depth, beta, x_hist: Vec::new(), r_hist: Vec::new() }
+    }
+
+    /// Clears the history (e.g. at the start of a new time step).
+    pub fn reset(&mut self) {
+        self.x_hist.clear();
+        self.r_hist.clear();
+    }
+
+    /// Current history length.
+    pub fn history_len(&self) -> usize {
+        self.x_hist.len()
+    }
+
+    /// Given the current iterate `x` and its image `tx = T(x)`, returns
+    /// the next iterate.
+    pub fn step(&mut self, x: &[Complex64], tx: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), tx.len());
+        let r: Vec<Complex64> = tx.iter().zip(x).map(|(t, xi)| *t - *xi).collect();
+
+        let m = self.x_hist.len();
+        let next = if m == 0 {
+            // Simple damped step.
+            x.iter().zip(&r).map(|(xi, ri)| *xi + ri.scale(self.beta)).collect()
+        } else {
+            // Solve min || r - ΔR θ || with ΔR columns r - r_hist[j].
+            let n = x.len();
+            let a = CMat::from_fn(n, m, |row, col| r[row] - self.r_hist[col][row]);
+            let theta = lstsq(&a, &r, 1e-10);
+            // x̄ = x - Σ θ_j (x - x_j);  r̄ = r - Σ θ_j (r - r_j).
+            let mut out: Vec<Complex64> = x
+                .iter()
+                .zip(&r)
+                .map(|(xi, ri)| *xi + ri.scale(self.beta))
+                .collect();
+            for (j, th) in theta.iter().enumerate() {
+                let xh = &self.x_hist[j];
+                let rh = &self.r_hist[j];
+                for (i, o) in out.iter_mut().enumerate() {
+                    let dx = x[i] - xh[i];
+                    let dr = r[i] - rh[i];
+                    *o -= *th * (dx + dr.scale(self.beta));
+                }
+            }
+            out
+        };
+
+        self.x_hist.push(x.to_vec());
+        self.r_hist.push(r);
+        if self.x_hist.len() > self.depth {
+            self.x_hist.remove(0);
+            self.r_hist.remove(0);
+        }
+        next
+    }
+}
+
+/// Convenience wrapper for real-valued fixed points (density mixing).
+pub struct AndersonMixerReal {
+    inner: AndersonMixer,
+}
+
+impl AndersonMixerReal {
+    /// See [`AndersonMixer::new`].
+    pub fn new(depth: usize, beta: f64) -> Self {
+        AndersonMixerReal { inner: AndersonMixer::new(depth, beta) }
+    }
+
+    /// Clears history.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Real-vector mixing step.
+    pub fn step(&mut self, x: &[f64], tx: &[f64]) -> Vec<f64> {
+        let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let tc: Vec<Complex64> = tx.iter().map(|&v| Complex64::from_re(v)).collect();
+        self.inner.step(&xc, &tc).into_iter().map(|z| z.re).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnum::c64;
+
+    /// Linear fixed point T(x) = A x + b with spectral radius < 1.
+    fn linear_map(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        let mut out = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            let mut acc = c64(0.1 * (i as f64 + 1.0), 0.05);
+            for (j, xj) in x.iter().enumerate() {
+                let a = 0.5 / (1.0 + (i as f64 - j as f64).abs());
+                acc += xj.scale(a * 0.6);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    fn residual_norm(x: &[Complex64]) -> f64 {
+        let tx = linear_map(x);
+        tx.iter().zip(x).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn anderson_converges_faster_than_simple_mixing() {
+        let n = 8;
+        let x0 = vec![Complex64::ZERO; n];
+
+        // Simple damped iteration.
+        let mut xs = x0.clone();
+        let mut simple = AndersonMixer::new(1, 0.5);
+        for _ in 0..12 {
+            let tx = linear_map(&xs);
+            xs = simple.step(&xs, &tx);
+        }
+
+        // Anderson with depth 5.
+        let mut xa = x0;
+        let mut anderson = AndersonMixer::new(5, 0.5);
+        for _ in 0..12 {
+            let tx = linear_map(&xa);
+            xa = anderson.step(&xa, &tx);
+        }
+
+        let rs = residual_norm(&xs);
+        let ra = residual_norm(&xa);
+        assert!(ra < rs * 0.1, "anderson {ra} vs simple {rs}");
+        assert!(ra < 1e-6, "anderson should nearly converge: {ra}");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut m = AndersonMixer::new(3, 0.5);
+        let x = vec![Complex64::ONE; 4];
+        for k in 0..10 {
+            let tx: Vec<Complex64> = x.iter().map(|z| z.scale(1.0 + 0.01 * k as f64)).collect();
+            let _ = m.step(&x, &tx);
+        }
+        assert!(m.history_len() <= 3);
+    }
+
+    #[test]
+    fn exact_fixed_point_is_stationary() {
+        // If T(x) == x the mixer must return x.
+        let mut m = AndersonMixer::new(4, 0.7);
+        let x = vec![c64(1.0, -2.0); 5];
+        let out = m.step(&x, &x);
+        for (a, b) in out.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn real_wrapper_converges_scalar() {
+        // T(x) = cos(x): fixed point ≈ 0.739085.
+        let mut m = AndersonMixerReal::new(5, 1.0);
+        let mut x = vec![0.0f64];
+        for _ in 0..25 {
+            let tx = vec![x[0].cos()];
+            x = m.step(&x, &tx);
+        }
+        assert!((x[0] - 0.739_085_133_2).abs() < 1e-8, "got {}", x[0]);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut m = AndersonMixer::new(4, 0.5);
+        let x = vec![Complex64::ONE; 2];
+        let tx = vec![c64(2.0, 0.0); 2];
+        let _ = m.step(&x, &tx);
+        assert_eq!(m.history_len(), 1);
+        m.reset();
+        assert_eq!(m.history_len(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fermi–Dirac occupations for finite-temperature calculations.
+//!
+//! The paper runs at T = 8000 K, where silicon's gap states are
+//! fractionally occupied — this is what makes σ a genuine mixed-state
+//! matrix and forces the O(N³) baseline cost that PT-IM's diagonalization
+//! attacks. Spin-degenerate convention: each orbital holds `2 f` electrons
+//! with `f ∈ [0, 1]`.
+
+/// Boltzmann constant in hartree/kelvin.
+pub const KB_HARTREE: f64 = 3.166_811_563e-6;
+
+/// Fermi–Dirac occupation `f(ε) = 1/(1 + e^{(ε-μ)/kT})`, with the T → 0
+/// limit handled as a step function.
+#[inline]
+pub fn fermi(eps: f64, mu: f64, kt: f64) -> f64 {
+    if kt <= 0.0 {
+        return if eps < mu {
+            1.0
+        } else if eps > mu {
+            0.0
+        } else {
+            0.5
+        };
+    }
+    let x = (eps - mu) / kt;
+    if x > 40.0 {
+        0.0
+    } else if x < -40.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Finds the chemical potential μ such that `2 Σ_i f(ε_i) = n_electrons`
+/// by bisection, then returns `(μ, occupations)`.
+///
+/// # Panics
+/// Panics if the electron count is not representable (fewer than
+/// `n_electrons/2` states).
+pub fn occupations(eigs: &[f64], n_electrons: f64, kt: f64) -> (f64, Vec<f64>) {
+    assert!(
+        2.0 * eigs.len() as f64 + 1e-9 >= n_electrons,
+        "not enough states ({}) for {} electrons",
+        eigs.len(),
+        n_electrons
+    );
+    let count = |mu: f64| -> f64 { 2.0 * eigs.iter().map(|&e| fermi(e, mu, kt)).sum::<f64>() };
+    let lo0 = eigs.iter().cloned().fold(f64::INFINITY, f64::min) - 50.0 * kt.max(1e-3) - 10.0;
+    let hi0 = eigs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 50.0 * kt.max(1e-3) + 10.0;
+    let (mut lo, mut hi) = (lo0, hi0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if count(mid) < n_electrons {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mu = 0.5 * (lo + hi);
+    let occ: Vec<f64> = eigs.iter().map(|&e| fermi(e, mu, kt)).collect();
+    (mu, occ)
+}
+
+/// Electronic entropy `S = -2 k_B Σ_i [f ln f + (1-f) ln(1-f)]`
+/// (hartree/kelvin·k_B units folded in: returns `-T·S` contribution when
+/// multiplied by `-T`... this function returns S in units of k_B).
+pub fn entropy(occ: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &f in occ {
+        if f > 1e-12 && f < 1.0 - 1e-12 {
+            s -= 2.0 * (f * f.ln() + (1.0 - f) * (1.0 - f).ln());
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupation_bounds_and_monotone() {
+        let kt = 0.02;
+        let mut prev = 1.0;
+        for i in 0..20 {
+            let f = fermi(-0.5 + i as f64 * 0.05, 0.0, kt);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f <= prev + 1e-15, "f must decrease with ε");
+            prev = f;
+        }
+        assert!((fermi(0.0, 0.0, kt) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_temperature_is_step() {
+        assert_eq!(fermi(-0.1, 0.0, 0.0), 1.0);
+        assert_eq!(fermi(0.1, 0.0, 0.0), 0.0);
+        assert_eq!(fermi(0.0, 0.0, 0.0), 0.5);
+    }
+
+    #[test]
+    fn chemical_potential_conserves_count() {
+        let eigs: Vec<f64> = (0..24).map(|i| -0.4 + 0.03 * i as f64).collect();
+        for &ne in &[8.0, 16.0, 32.0] {
+            for &t in &[300.0, 8000.0] {
+                let kt = KB_HARTREE * t;
+                let (_, occ) = occupations(&eigs, ne, kt);
+                let total: f64 = 2.0 * occ.iter().sum::<f64>();
+                assert!((total - ne).abs() < 1e-9, "T={t} Ne={ne}: got {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_temperature_gives_fractional_occupations() {
+        // At 8000 K with a ~0.03 Ha level spacing near the gap, multiple
+        // states above the HOMO are fractionally occupied — the regime the
+        // paper targets.
+        let eigs: Vec<f64> = (0..24).map(|i| -0.4 + 0.03 * i as f64).collect();
+        let kt = KB_HARTREE * 8000.0; // ≈ 0.0253 Ha
+        let (_, occ) = occupations(&eigs, 32.0, kt);
+        let fractional = occ.iter().filter(|&&f| f > 0.01 && f < 0.99).count();
+        assert!(fractional >= 4, "expected several fractional occupations, got {fractional}");
+    }
+
+    #[test]
+    fn low_temperature_recovers_aufbau() {
+        let eigs: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+        let (_, occ) = occupations(&eigs, 8.0, KB_HARTREE * 1.0);
+        for (i, f) in occ.iter().enumerate() {
+            if i < 4 {
+                assert!(*f > 0.999, "state {i}: {f}");
+            } else {
+                assert!(*f < 1e-3, "state {i}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_peaks_at_half_filling() {
+        assert!(entropy(&[0.5]) > entropy(&[0.1]));
+        assert!(entropy(&[0.5]) > entropy(&[0.9]));
+        assert!(entropy(&[0.0, 1.0]).abs() < 1e-12);
+        // Max value 2 ln 2 per state.
+        assert!((entropy(&[0.5]) - 2.0 * 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_states_share_occupation() {
+        let eigs = vec![0.0, 0.0, 0.0, 0.0];
+        let (_, occ) = occupations(&eigs, 4.0, 0.01);
+        for f in &occ {
+            assert!((f - 0.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Spectral analysis of the Kohn–Sham eigenvalues: density of states and
+//! gap detection.
+//!
+//! At the paper's 8000 K the silicon gap is comparable to k_B T, which is
+//! why occupations smear and σ becomes a genuine matrix; these helpers
+//! make that regime inspectable (used by examples and the harness output).
+
+/// Gaussian-broadened density of states sampled on a uniform energy grid.
+#[derive(Clone, Debug)]
+pub struct Dos {
+    /// Energy samples (hartree).
+    pub energies: Vec<f64>,
+    /// DOS values (states/hartree, spin-degenerate).
+    pub values: Vec<f64>,
+}
+
+/// Computes the DOS of `eigs` with Gaussian broadening `sigma` over
+/// `[e_min, e_max]` with `n` samples.
+pub fn dos(eigs: &[f64], sigma: f64, e_min: f64, e_max: f64, n: usize) -> Dos {
+    assert!(sigma > 0.0 && n >= 2 && e_max > e_min);
+    let norm = 2.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt()); // spin factor 2
+    let mut energies = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    for k in 0..n {
+        let e = e_min + (e_max - e_min) * k as f64 / (n - 1) as f64;
+        let mut v = 0.0;
+        for &ei in eigs {
+            let x = (e - ei) / sigma;
+            if x.abs() < 8.0 {
+                v += norm * (-0.5 * x * x).exp();
+            }
+        }
+        energies.push(e);
+        values.push(v);
+    }
+    Dos { energies, values }
+}
+
+/// The largest gap between consecutive (sorted) eigenvalues that
+/// straddles the chemical potential — the band gap for a gapped system,
+/// ~0 for a metal. Returns `(gap, homo, lumo)`.
+pub fn fundamental_gap(eigs: &[f64], mu: f64) -> Option<(f64, f64, f64)> {
+    let mut sorted = eigs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN eigenvalue"));
+    let mut best: Option<(f64, f64, f64)> = None;
+    for w in sorted.windows(2) {
+        if w[0] <= mu && mu <= w[1] {
+            let gap = w[1] - w[0];
+            if best.map(|(g, _, _)| gap > g).unwrap_or(true) {
+                best = Some((gap, w[0], w[1]));
+            }
+        }
+    }
+    best
+}
+
+/// Number of states with occupation meaningfully between 0 and 1 — the
+/// size of the "active" fractional manifold that drives the paper's
+/// mixed-state costs.
+pub fn fractional_count(occ: &[f64], threshold: f64) -> usize {
+    occ.iter().filter(|&&f| f > threshold && f < 1.0 - threshold).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dos_integrates_to_state_count() {
+        let eigs = vec![-0.5, -0.3, -0.3, 0.1, 0.4];
+        let d = dos(&eigs, 0.02, -1.0, 1.0, 4001);
+        let de = (d.energies[1] - d.energies[0]).abs();
+        let integral: f64 = d.values.iter().sum::<f64>() * de;
+        // 2 states per eigenvalue (spin), 5 eigenvalues.
+        assert!((integral - 10.0).abs() < 0.05, "integral {integral}");
+    }
+
+    #[test]
+    fn dos_peaks_at_degenerate_level() {
+        let eigs = vec![-0.3, -0.3, 0.5];
+        let d = dos(&eigs, 0.01, -1.0, 1.0, 2001);
+        let peak_idx =
+            d.values.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!((d.energies[peak_idx] + 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn gap_detection() {
+        let eigs = vec![-0.4, -0.35, -0.3, 0.1, 0.15];
+        // μ inside the gap.
+        let (gap, homo, lumo) = fundamental_gap(&eigs, -0.1).unwrap();
+        assert!((gap - 0.4).abs() < 1e-12);
+        assert!((homo + 0.3).abs() < 1e-12);
+        assert!((lumo - 0.1).abs() < 1e-12);
+        // μ outside every interval -> None.
+        assert!(fundamental_gap(&eigs, 0.5).is_none());
+    }
+
+    #[test]
+    fn fractional_manifold_counting() {
+        let occ = vec![1.0, 0.99, 0.7, 0.5, 0.2, 0.001, 0.0];
+        assert_eq!(fractional_count(&occ, 0.01), 3);
+        assert_eq!(fractional_count(&occ, 0.0005), 5);
+    }
+}

@@ -1,0 +1,82 @@
+//! Bundled static data for one physical system (cell + grids + ionic
+//! potential + Ewald energy).
+
+use crate::ewald::ewald_energy;
+use crate::gvec::PwGrid;
+use crate::lattice::Cell;
+use crate::pseudo;
+use pwfft::Fft3;
+
+/// Everything about a system that does not change during SCF or dynamics.
+pub struct DftSystem {
+    /// The periodic cell with its atoms.
+    pub cell: Cell,
+    /// Wavefunction/density grid (single grid; products are resolved by
+    /// construction, see [`PwGrid::for_cell`]).
+    pub grid: PwGrid,
+    /// FFT plans for the grid.
+    pub fft: Fft3,
+    /// Static ionic (local pseudopotential) potential on the grid.
+    pub vloc: Vec<f64>,
+    /// Ion–ion Ewald energy (constant).
+    pub e_ewald: f64,
+}
+
+impl DftSystem {
+    /// Builds the system for a cell at a kinetic-energy cutoff (hartree).
+    pub fn new(cell: Cell, ecut: f64) -> Self {
+        let grid = PwGrid::for_cell(&cell, ecut);
+        Self::with_grid(cell, grid)
+    }
+
+    /// Builds the system with explicit grid dimensions (tests / benches).
+    pub fn with_dims(cell: Cell, ecut: f64, dims: [usize; 3]) -> Self {
+        let grid = PwGrid::with_dims(&cell, ecut, dims);
+        Self::with_grid(cell, grid)
+    }
+
+    fn with_grid(cell: Cell, grid: PwGrid) -> Self {
+        let fft = grid.fft();
+        let vloc = pseudo::local_potential(&cell, &grid);
+        let e_ewald = ewald_energy(&cell);
+        DftSystem { cell, grid, fft, vloc, e_ewald }
+    }
+
+    /// Convenience: an `n1 x n2 x n3` silicon supercell.
+    pub fn silicon(n1: usize, n2: usize, n3: usize, ecut: f64) -> Self {
+        Self::new(Cell::silicon_supercell(n1, n2, n3), ecut)
+    }
+
+    /// Number of electrons.
+    pub fn n_electrons(&self) -> f64 {
+        self.cell.n_electrons()
+    }
+
+    /// Uniform starting density (electrons spread over the cell).
+    pub fn uniform_density(&self) -> Vec<f64> {
+        let rho0 = self.n_electrons() / self.grid.volume();
+        vec![rho0; self.grid.len()]
+    }
+
+    /// Electron–ion energy for a given density (direct + alpha-Z terms).
+    pub fn eei_energy(&self, rho: &[f64]) -> f64 {
+        pseudo::eei_energy(&self.cell, &self.grid, &self.vloc, rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silicon_system_consistent() {
+        let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 3.0, [10, 10, 10]);
+        assert_eq!(sys.grid.len(), 1000);
+        assert!((sys.n_electrons() - 32.0).abs() < 1e-12);
+        assert!(sys.e_ewald < 0.0);
+        // Uniform density integrates to the electron count.
+        let rho = sys.uniform_density();
+        let ne = crate::density::electron_count(&sys.grid, &rho);
+        assert!((ne - 32.0).abs() < 1e-9);
+    }
+}

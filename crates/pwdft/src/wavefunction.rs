@@ -1,0 +1,284 @@
+//! Wavefunction blocks: N bands of plane-wave coefficients.
+//!
+//! Storage convention: **G-space, band-major** — band `i` occupies the
+//! contiguous slice `[i*ng, (i+1)*ng)` of the buffer, holding the
+//! *unnormalized forward FFT* of the real-space orbital. With the pwfft
+//! conventions (`forward` unnormalized, `inverse` 1/n-normalized) this
+//! makes `to_real` a single `inverse` call and the inner product
+//! `<a|b> = (Ω/Ng²) Σ_G ã* b̃`.
+
+use crate::gvec::PwGrid;
+use pwfft::Fft3;
+use pwnum::bands;
+use pwnum::chol::{cholesky, invert_lower};
+use pwnum::cmat::CMat;
+use pwnum::complex::Complex64;
+use pwnum::eigh;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A block of `n_bands` plane-wave orbitals on a common grid.
+#[derive(Clone, Debug)]
+pub struct Wavefunction {
+    /// Number of bands (orbitals).
+    pub n_bands: usize,
+    /// Grid size Ng.
+    pub ng: usize,
+    /// `<a|b>` scale factor `Ω/Ng²`.
+    pub ip_scale: f64,
+    /// Band-major G-space coefficients.
+    pub data: Vec<Complex64>,
+}
+
+impl Wavefunction {
+    /// Zero-initialized block.
+    pub fn zeros(grid: &PwGrid, n_bands: usize) -> Self {
+        let ng = grid.len();
+        Wavefunction {
+            n_bands,
+            ng,
+            ip_scale: grid.volume() / (ng as f64 * ng as f64),
+            data: vec![Complex64::ZERO; n_bands * ng],
+        }
+    }
+
+    /// Randomized, cutoff-masked, orthonormalized block — the standard
+    /// starting guess for the ground-state solver.
+    pub fn random(grid: &PwGrid, n_bands: usize, seed: u64) -> Self {
+        let mut wf = Self::zeros(grid, n_bands);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for b in 0..n_bands {
+            let band = wf.band_mut(b);
+            for (g, z) in band.iter_mut().enumerate() {
+                if grid.mask[g] {
+                    // Decay with |G|² for smoother starting vectors.
+                    let damp = 1.0 / (1.0 + grid.g2[g]);
+                    *z = Complex64::new(
+                        rng.gen_range(-1.0..1.0) * damp,
+                        rng.gen_range(-1.0..1.0) * damp,
+                    );
+                }
+            }
+        }
+        wf.orthonormalize_cholesky();
+        wf
+    }
+
+    /// Borrow of band `i`'s coefficients.
+    #[inline]
+    pub fn band(&self, i: usize) -> &[Complex64] {
+        bands::band(&self.data, self.ng, i)
+    }
+
+    /// Mutable borrow of band `i`.
+    #[inline]
+    pub fn band_mut(&mut self, i: usize) -> &mut [Complex64] {
+        bands::band_mut(&mut self.data, self.ng, i)
+    }
+
+    /// Overlap matrix `S[i][j] = <self_i | other_j>`.
+    pub fn overlap(&self, other: &Wavefunction) -> CMat {
+        assert_eq!(self.ng, other.ng);
+        bands::overlap(&self.data, &other.data, self.ng, self.ip_scale)
+    }
+
+    /// Inner product of two single bands.
+    pub fn dot(&self, i: usize, other: &Wavefunction, j: usize) -> Complex64 {
+        pwnum::cvec::dotc(self.band(i), other.band(j)).scale(self.ip_scale)
+    }
+
+    /// Returns `self * Q` (subspace rotation; Q is `n_bands x n_out`).
+    pub fn rotated(&self, q: &CMat) -> Wavefunction {
+        let mut out = Wavefunction {
+            n_bands: q.cols(),
+            ng: self.ng,
+            ip_scale: self.ip_scale,
+            data: vec![Complex64::ZERO; q.cols() * self.ng],
+        };
+        bands::rotate(&self.data, q, self.ng, &mut out.data);
+        out
+    }
+
+    /// Cholesky-QR orthonormalization: `Φ ← Φ L^{-H}` with `Φ^HΦ = LL^H`.
+    /// Fast; requires a numerically full-rank block.
+    pub fn orthonormalize_cholesky(&mut self) {
+        let s = self.overlap(self);
+        let l = cholesky(&s).expect("orthonormalize: rank-deficient wavefunction block");
+        let q = invert_lower(&l).herm();
+        let mut out = vec![Complex64::ZERO; self.data.len()];
+        bands::rotate(&self.data, &q, self.ng, &mut out);
+        self.data = out;
+    }
+
+    /// Löwdin (symmetric) orthonormalization: `Φ ← Φ S^{-1/2}`.
+    ///
+    /// Produces the orthonormal set *closest* to the input — exactly what
+    /// the PT-IM step needs after updating Φ (paper Alg. 1 line 13), since
+    /// it perturbs the parallel-transport gauge least.
+    pub fn orthonormalize_lowdin(&mut self) {
+        let s = self.overlap(self);
+        let e = eigh(&s);
+        // S^{-1/2} = V diag(w^{-1/2}) V^H.
+        let n = self.n_bands;
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            assert!(
+                e.values[i] > 1e-14,
+                "Löwdin orthonormalization: singular overlap (w={})",
+                e.values[i]
+            );
+            let w = 1.0 / e.values[i].sqrt();
+            for r in 0..n {
+                m[(r, i)] = e.vectors[(r, i)].scale(w);
+            }
+        }
+        let q = pwnum::gemm::gemm(
+            Complex64::ONE,
+            &m,
+            pwnum::gemm::Op::None,
+            &e.vectors,
+            pwnum::gemm::Op::ConjTrans,
+            Complex64::ZERO,
+            None,
+        );
+        let mut out = vec![Complex64::ZERO; self.data.len()];
+        bands::rotate(&self.data, &q, self.ng, &mut out);
+        self.data = out;
+    }
+
+    /// Transforms band `i` to real space into `out` (length Ng).
+    pub fn to_real(&self, fft: &Fft3, i: usize, out: &mut [Complex64]) {
+        out.copy_from_slice(self.band(i));
+        fft.inverse(out);
+    }
+
+    /// Transforms all bands to real space (band-major buffer, parallel).
+    pub fn to_real_all(&self, fft: &Fft3) -> Vec<Complex64> {
+        let mut out = self.data.clone();
+        fft.inverse_many(&mut out, self.n_bands);
+        out
+    }
+
+    /// Builds a block from band-major real-space values.
+    pub fn from_real(grid: &PwGrid, fft: &Fft3, mut real: Vec<Complex64>) -> Self {
+        let ng = grid.len();
+        assert_eq!(real.len() % ng, 0);
+        let n_bands = real.len() / ng;
+        fft.forward_many(&mut real, n_bands);
+        Wavefunction {
+            n_bands,
+            ng,
+            ip_scale: grid.volume() / (ng as f64 * ng as f64),
+            data: real,
+        }
+    }
+
+    /// Applies the cutoff mask to every band.
+    pub fn mask(&mut self, grid: &PwGrid) {
+        for b in 0..self.n_bands {
+            let band = bands::band_mut(&mut self.data, self.ng, b);
+            grid.apply_mask(band);
+        }
+    }
+
+    /// Max |coefficient| difference against another block.
+    pub fn max_abs_diff(&self, other: &Wavefunction) -> f64 {
+        pwnum::cvec::max_abs_diff(&self.data, &other.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Cell;
+
+    fn test_grid() -> PwGrid {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        PwGrid::with_dims(&cell, 3.0, [8, 8, 8])
+    }
+
+    #[test]
+    fn random_block_is_orthonormal() {
+        let grid = test_grid();
+        let wf = Wavefunction::random(&grid, 6, 42);
+        let s = wf.overlap(&wf);
+        assert!(s.max_abs_diff(&CMat::identity(6)) < 1e-10);
+    }
+
+    #[test]
+    fn random_block_respects_mask() {
+        let grid = test_grid();
+        let wf = Wavefunction::random(&grid, 3, 1);
+        for b in 0..3 {
+            for (g, z) in wf.band(b).iter().enumerate() {
+                if !grid.mask[g] {
+                    assert_eq!(*z, Complex64::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn real_space_normalization() {
+        let grid = test_grid();
+        let fft = grid.fft();
+        let wf = Wavefunction::random(&grid, 2, 7);
+        let mut r = vec![Complex64::ZERO; grid.len()];
+        wf.to_real(&fft, 0, &mut r);
+        let norm: f64 = r.iter().map(|z| z.norm_sqr()).sum::<f64>() * grid.dv();
+        assert!((norm - 1.0).abs() < 1e-10, "real-space norm {norm}");
+    }
+
+    #[test]
+    fn roundtrip_real_gspace() {
+        let grid = test_grid();
+        let fft = grid.fft();
+        let wf = Wavefunction::random(&grid, 3, 3);
+        let real = wf.to_real_all(&fft);
+        let back = Wavefunction::from_real(&grid, &fft, real);
+        assert!(wf.max_abs_diff(&back) < 1e-10);
+    }
+
+    #[test]
+    fn lowdin_vs_cholesky_both_orthonormalize() {
+        let grid = test_grid();
+        let mut a = Wavefunction::random(&grid, 4, 9);
+        // Deliberately deorthonormalize.
+        let alpha = Complex64::new(0.3, 0.1);
+        let b0 = a.band(0).to_vec();
+        pwnum::cvec::axpy(alpha, &b0, a.band_mut(1));
+        let mut b = a.clone();
+
+        a.orthonormalize_cholesky();
+        b.orthonormalize_lowdin();
+        assert!(a.overlap(&a).max_abs_diff(&CMat::identity(4)) < 1e-9);
+        assert!(b.overlap(&b).max_abs_diff(&CMat::identity(4)) < 1e-9);
+    }
+
+    #[test]
+    fn lowdin_minimal_change_property() {
+        // For an already orthonormal block, Löwdin is the identity.
+        let grid = test_grid();
+        let wf = Wavefunction::random(&grid, 5, 11);
+        let mut l = wf.clone();
+        l.orthonormalize_lowdin();
+        assert!(wf.max_abs_diff(&l) < 1e-9);
+    }
+
+    #[test]
+    fn rotation_by_unitary_preserves_orthonormality() {
+        let grid = test_grid();
+        let wf = Wavefunction::random(&grid, 3, 13);
+        // Build a unitary from a random Hermitian matrix.
+        let h = pwnum::cmat::random_hermitian(3, {
+            let mut s = 5u64;
+            move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            }
+        });
+        let u = eigh(&h).vectors;
+        let rot = wf.rotated(&u);
+        assert!(rot.overlap(&rot).max_abs_diff(&CMat::identity(3)) < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Local-density exchange-correlation (Slater exchange + PZ81 correlation).
+//!
+//! Substitution (DESIGN.md §2): the paper's HSE06 pairs short-range PBE
+//! exchange with 25% short-range Fock exchange. We pair LDA with the
+//! screened Fock term instead — the hybrid *structure* (semilocal part on
+//! the density grid + screened exact exchange over orbital pairs) is
+//! identical, which is what the per-step cost and all optimizations
+//! depend on.
+
+/// Slater exchange energy density per electron, `ε_x(ρ)` (hartree).
+#[inline]
+pub fn ex_lda(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    const CX: f64 = -0.738_558_766_382_022_4; // -(3/4)(3/π)^{1/3}
+    CX * rho.powf(1.0 / 3.0)
+}
+
+/// Slater exchange potential `v_x(ρ) = dε_x ρ/dρ`.
+#[inline]
+pub fn vx_lda(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    const CV: f64 = -0.984_745_021_842_696_6; // -(3/π)^{1/3}
+    CV * rho.powf(1.0 / 3.0)
+}
+
+/// PZ81 correlation energy per electron (unpolarized).
+#[inline]
+pub fn ec_pz81(rho: f64) -> f64 {
+    if rho <= 1e-30 {
+        return 0.0;
+    }
+    let rs = (3.0 / (4.0 * std::f64::consts::PI * rho)).powf(1.0 / 3.0);
+    if rs < 1.0 {
+        let lnrs = rs.ln();
+        0.0311 * lnrs - 0.048 + 0.0020 * rs * lnrs - 0.0116 * rs
+    } else {
+        let sq = rs.sqrt();
+        -0.1423 / (1.0 + 1.0529 * sq + 0.3334 * rs)
+    }
+}
+
+/// PZ81 correlation potential (unpolarized): `v_c = ε_c - (rs/3) dε_c/drs`.
+#[inline]
+pub fn vc_pz81(rho: f64) -> f64 {
+    if rho <= 1e-30 {
+        return 0.0;
+    }
+    let rs = (3.0 / (4.0 * std::f64::consts::PI * rho)).powf(1.0 / 3.0);
+    if rs < 1.0 {
+        let lnrs = rs.ln();
+        let ec = 0.0311 * lnrs - 0.048 + 0.0020 * rs * lnrs - 0.0116 * rs;
+        let dec = 0.0311 / rs + 0.0020 * (lnrs + 1.0) - 0.0116;
+        ec - rs / 3.0 * dec
+    } else {
+        let sq = rs.sqrt();
+        let denom = 1.0 + 1.0529 * sq + 0.3334 * rs;
+        let ec = -0.1423 / denom;
+        let dec = 0.1423 * (1.0529 / (2.0 * sq) + 0.3334) / (denom * denom);
+        ec - rs / 3.0 * dec
+    }
+}
+
+/// Combined LDA XC energy density per electron.
+#[inline]
+pub fn exc_lda(rho: f64) -> f64 {
+    ex_lda(rho) + ec_pz81(rho)
+}
+
+/// Combined LDA XC potential.
+#[inline]
+pub fn vxc_lda(rho: f64) -> f64 {
+    vx_lda(rho) + vc_pz81(rho)
+}
+
+/// Evaluates the XC energy `∫ ρ ε_xc(ρ) dV` and fills the potential on
+/// the grid; returns the energy.
+pub fn xc_energy_potential(rho: &[f64], dv: f64, vxc_out: &mut [f64]) -> f64 {
+    assert_eq!(rho.len(), vxc_out.len());
+    let mut e = 0.0;
+    for (v, &r) in vxc_out.iter_mut().zip(rho) {
+        let rr = r.max(0.0);
+        e += rr * exc_lda(rr);
+        *v = vxc_lda(rr);
+    }
+    e * dv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_scaling_law() {
+        // ε_x ∝ ρ^{1/3}: doubling rho multiplies ε_x by 2^{1/3}.
+        let r = 0.37;
+        assert!((ex_lda(2.0 * r) / ex_lda(r) - 2f64.powf(1.0 / 3.0)).abs() < 1e-12);
+        // v_x = (4/3) ε_x for Slater exchange.
+        assert!((vx_lda(r) - 4.0 / 3.0 * ex_lda(r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pz81_continuous_at_rs1() {
+        // The two branches meet at rs = 1 (by construction of PZ81 they
+        // match to ~1e-3; check the jump is small).
+        let rho_at = |rs: f64| 3.0 / (4.0 * std::f64::consts::PI * rs.powi(3));
+        let below = ec_pz81(rho_at(0.999_999));
+        let above = ec_pz81(rho_at(1.000_001));
+        assert!((below - above).abs() < 2e-3, "jump {}", (below - above).abs());
+    }
+
+    #[test]
+    fn potential_from_finite_difference() {
+        // v_xc = d(ρ ε_xc)/dρ; verify against central differences.
+        for &rho in &[0.01, 0.1, 0.5, 2.0] {
+            let h = rho * 1e-6;
+            let f = |r: f64| r * exc_lda(r);
+            let numeric = (f(rho + h) - f(rho - h)) / (2.0 * h);
+            let analytic = vxc_lda(rho);
+            assert!(
+                (numeric - analytic).abs() < 1e-6 * analytic.abs().max(1.0),
+                "rho={rho}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_density_is_safe() {
+        assert_eq!(ex_lda(0.0), 0.0);
+        assert_eq!(vxc_lda(0.0), 0.0);
+        assert_eq!(ec_pz81(-1.0), 0.0);
+    }
+
+    #[test]
+    fn grid_energy_matches_pointwise() {
+        let rho = vec![0.2, 0.4, 0.0, 1.1];
+        let mut v = vec![0.0; 4];
+        let e = xc_energy_potential(&rho, 0.5, &mut v);
+        let expect: f64 = rho.iter().map(|&r| r * exc_lda(r)).sum::<f64>() * 0.5;
+        assert!((e - expect).abs() < 1e-14);
+        assert!((v[1] - vxc_lda(0.4)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn correlation_is_negative_and_small() {
+        for &rho in &[0.001, 0.01, 0.1, 1.0, 10.0] {
+            let ec = ec_pz81(rho);
+            assert!(ec < 0.0, "correlation must be negative: {ec}");
+            assert!(ec > -0.2, "correlation magnitude sane: {ec}");
+            assert!(ec.abs() < ex_lda(rho).abs() || rho < 0.002);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # pwfft — FFTs for plane-wave DFT grids
+//!
+//! A self-contained mixed-radix complex FFT library sized for the grids of
+//! the PT-IM rt-TDDFT reproduction:
+//!
+//! * [`plan`] — 1D plans (radix 2/3/4/5 kernels + generic prime radix),
+//!   unnormalized forward / `1/n`-normalized inverse, allocation-free
+//!   `_with` entry points for hot loops.
+//! * [`fft3`] — in-place 3D transforms over row-major grids with a
+//!   thread-parallel batched API ([`fft3::Fft3::forward_many`]) mirroring
+//!   the paper's multi-batch cuFFT strategy.
+//!
+//! All grid sizes used by the physics code are 2/3/5-smooth, matching the
+//! paper's production grids (e.g. 60×90×120 for 1536 Si atoms).
+
+pub mod fft3;
+pub mod plan;
+
+pub use fft3::Fft3;
+pub use plan::Plan;

@@ -1,0 +1,255 @@
+//! Hermitian eigendecomposition via the cyclic complex Jacobi method.
+//!
+//! PT-IM needs eigendecompositions of the occupation matrix σ (the
+//! diagonalization optimization, Eq. 11) and of Rayleigh–Ritz matrices in
+//! the ground-state solver. These are N×N with N = number of bands, so a
+//! rock-solid O(N³)-per-sweep Jacobi iteration is the right trade: it is
+//! unconditionally stable, preserves Hermitian structure exactly, and
+//! produces orthonormal eigenvectors to machine precision.
+
+use crate::cmat::CMat;
+use crate::complex::Complex64;
+
+/// Result of a Hermitian eigendecomposition: `A = V diag(w) V^H` with
+/// eigenvalues ascending and `V` unitary (columns are eigenvectors).
+#[derive(Clone, Debug)]
+pub struct EigH {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: CMat,
+}
+
+/// Off-diagonal Frobenius norm squared.
+fn off_norm_sqr(a: &CMat) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for r in 0..n {
+        for c in 0..n {
+            if r != c {
+                s += a[(r, c)].norm_sqr();
+            }
+        }
+    }
+    s
+}
+
+/// Diagonalizes a Hermitian matrix.
+///
+/// The input is symmetrized (`(A+A^H)/2`) first so tiny non-Hermitian
+/// noise from upstream arithmetic cannot destabilize the iteration.
+///
+/// # Panics
+/// Panics if `a` is not square or the iteration fails to converge in 100
+/// sweeps (which for Jacobi on Hermitian input indicates NaNs in the data).
+pub fn eigh(a: &CMat) -> EigH {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return EigH { values: vec![], vectors: CMat::zeros(0, 0) };
+    }
+    let mut a = a.hermitian_part();
+    let mut v = CMat::identity(n);
+    let scale: f64 = a.fro_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-30 * scale * scale;
+
+    let mut converged = false;
+    for _sweep in 0..100 {
+        if off_norm_sqr(&a) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = a[(p, q)];
+                let m = apq.abs();
+                if m <= 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)].re;
+                let aqq = a[(q, q)].re;
+                let e = apq.scale(1.0 / m); // e^{i phi}
+                let tau = (aqq - app) / (2.0 * m);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // J[p][p]=c, J[p][q]=s e, J[q][p]=-s conj(e), J[q][q]=c; A <- J^H A J.
+                let se = e.scale(s);
+                let sec = e.conj().scale(s);
+
+                // Update rows/cols p and q for all other indices.
+                for i in 0..n {
+                    if i == p || i == q {
+                        continue;
+                    }
+                    let aip = a[(i, p)];
+                    let aiq = a[(i, q)];
+                    let new_ip = aip.scale(c) - aiq * sec;
+                    let new_iq = aip * se + aiq.scale(c);
+                    a[(i, p)] = new_ip;
+                    a[(p, i)] = new_ip.conj();
+                    a[(i, q)] = new_iq;
+                    a[(q, i)] = new_iq.conj();
+                }
+                // 2x2 block.
+                let new_pp = c * c * app - 2.0 * s * c * m + s * s * aqq;
+                let new_qq = s * s * app + 2.0 * s * c * m + c * c * aqq;
+                a[(p, p)] = Complex64::from_re(new_pp);
+                a[(q, q)] = Complex64::from_re(new_qq);
+                a[(p, q)] = Complex64::ZERO;
+                a[(q, p)] = Complex64::ZERO;
+
+                // Accumulate eigenvectors: V <- V J.
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip.scale(c) - viq * sec;
+                    v[(i, q)] = vip * se + viq.scale(c);
+                }
+            }
+        }
+    }
+    assert!(
+        converged || off_norm_sqr(&a) <= tol.max(1e-22 * scale * scale),
+        "Jacobi eigensolver failed to converge (NaN input?)"
+    );
+
+    // Sort ascending by eigenvalue, permuting eigenvector columns.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[(i, i)].re).collect();
+    idx.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let vectors = CMat::from_fn(n, n, |r, c| v[(r, idx[c])]);
+    EigH { values, vectors }
+}
+
+/// Reconstructs `V diag(w) V^H` — primarily a testing/diagnostic helper.
+pub fn reconstruct(e: &EigH) -> CMat {
+    let d = CMat::from_real_diag(&e.values);
+    let vd = e.vectors.matmul(&d);
+    crate::gemm::gemm(
+        Complex64::ONE,
+        &vd,
+        crate::gemm::Op::None,
+        &e.vectors,
+        crate::gemm::Op::ConjTrans,
+        Complex64::ZERO,
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmat::random_hermitian;
+    use crate::complex::c64;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = CMat::from_real_diag(&[3.0, -1.0, 2.0]);
+        let e = eigh(&a);
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 2.0).abs() < 1e-14);
+        assert!((e.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pauli_y_eigenpairs() {
+        // sigma_y = [[0, -i],[i, 0]] has eigenvalues ±1.
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 1)] = c64(0.0, -1.0);
+        a[(1, 0)] = c64(0.0, 1.0);
+        let e = eigh(&a);
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 1.0).abs() < 1e-14);
+        assert!(reconstruct(&e).max_abs_diff(&a) < 1e-13);
+    }
+
+    #[test]
+    fn random_reconstruction_and_unitarity() {
+        let mut seed = 42;
+        for n in [1, 2, 3, 5, 8, 16, 33] {
+            let a = random_hermitian(n, |
+            | lcg(&mut seed));
+            let e = eigh(&a);
+            // Reconstruction.
+            assert!(
+                reconstruct(&e).max_abs_diff(&a) < 1e-11 * (n as f64),
+                "reconstruction failed for n={n}"
+            );
+            // Unitarity of eigenvectors.
+            let vhv = crate::gemm::herm_matmul(&e.vectors, &e.vectors);
+            assert!(vhv.max_abs_diff(&CMat::identity(n)) < 1e-12, "V not unitary for n={n}");
+            // Ascending order.
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut seed = 7;
+        let a = random_hermitian(12, || lcg(&mut seed));
+        let e = eigh(&a);
+        let tr: f64 = e.values.iter().sum();
+        assert!((tr - a.trace().re).abs() < 1e-11);
+    }
+
+    #[test]
+    fn eigenvalue_equation_holds() {
+        let mut seed = 99;
+        let a = random_hermitian(9, || lcg(&mut seed));
+        let e = eigh(&a);
+        for k in 0..9 {
+            let vk: Vec<Complex64> = (0..9).map(|i| e.vectors[(i, k)]).collect();
+            let av = a.mul_vec(&vk);
+            for i in 0..9 {
+                assert!((av[i] - vk[i].scale(e.values[k])).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn occupation_like_matrix() {
+        // A density-matrix-like σ: Hermitian with eigenvalues in [0,1].
+        let n = 10;
+        let mut seed = 5;
+        let q = {
+            // Build a unitary from eigh of a random Hermitian.
+            let h = random_hermitian(n, || lcg(&mut seed));
+            eigh(&h).vectors
+        };
+        let d: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + ((i as f64 - 4.5) * 1.3).exp())).collect();
+        let sigma = {
+            let dm = CMat::from_real_diag(&d);
+            let qd = q.matmul(&dm);
+            crate::gemm::gemm(
+                Complex64::ONE,
+                &qd,
+                crate::gemm::Op::None,
+                &q,
+                crate::gemm::Op::ConjTrans,
+                Complex64::ZERO,
+                None,
+            )
+        };
+        let e = eigh(&sigma);
+        let mut sorted = d.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in e.values.iter().zip(&sorted) {
+            assert!((got - want).abs() < 1e-11);
+            assert!(*got > -1e-12 && *got < 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # pwnum — numerical kernels for the PT-IM rt-TDDFT reproduction
+//!
+//! Self-contained complex arithmetic and dense linear algebra, written for
+//! the sizes this code base actually uses:
+//!
+//! * [`complex`] — the `Complex64` scalar type.
+//! * [`cvec`] — BLAS-1 kernels over coefficient/grid vectors (the inner
+//!   loops of the Fock exchange operator and the mixers).
+//! * [`cmat`] — dense row-major matrices for N×N subspace objects
+//!   (σ, overlap matrices, rotations).
+//! * [`gemm`] — op-aware matrix products with thread parallelism.
+//! * [`bands`] — tall-and-skinny kernels over band-major wavefunction
+//!   blocks (overlap `Φ^HΦ`, rotations `ΦQ`).
+//! * [`eig`] — Hermitian eigendecomposition (cyclic complex Jacobi),
+//!   used to diagonalize the occupation matrix σ (paper Eq. 11).
+//! * [`chol`] — Cholesky factorization/solves (orthonormalization,
+//!   projector inverses, ACE construction).
+//! * [`lstsq`] — regularized least squares for Anderson mixing.
+//! * [`parallel`] — scoped-thread `parallel for` helpers (the OpenMP
+//!   analog of the paper's node-level parallelism).
+//!
+//! No external math dependencies: every routine is implemented here and
+//! validated by unit + property tests.
+
+pub mod bands;
+pub mod chol;
+pub mod cmat;
+pub mod complex;
+pub mod cvec;
+pub mod eig;
+pub mod gemm;
+pub mod lstsq;
+pub mod parallel;
+
+pub use cmat::CMat;
+pub use complex::{c64, Complex64};
+pub use eig::{eigh, EigH};

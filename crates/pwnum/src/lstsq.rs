@@ -1,0 +1,111 @@
+//! Small regularized least-squares solves for Anderson mixing.
+//!
+//! Anderson acceleration (paper Alg. 1 line 8, and the ground-state
+//! density mixer) minimizes `|| R theta - r ||` over the mixing history,
+//! with the history dimension capped at 20. The normal equations with a
+//! relative Tikhonov term are accurate and cheap at that size, and the
+//! regularization makes the scheme robust against a (nearly) rank-
+//! deficient history — which routinely happens once the fixed point is
+//! almost converged.
+
+use crate::chol::solve_hpd;
+use crate::cmat::CMat;
+use crate::complex::Complex64;
+
+/// Solves `min_x || A x - b ||_2` with Tikhonov regularization
+/// `lambda_rel * trace(A^H A)/n * I`.
+///
+/// `A` is m×n with m ≥ n expected (the history design matrix). Returns the
+/// coefficient vector of length n.
+pub fn lstsq(a: &CMat, b: &[Complex64], lambda_rel: f64) -> Vec<Complex64> {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(b.len(), m, "lstsq: rhs length mismatch");
+    assert!(n > 0, "lstsq: empty system");
+    // Normal equations: (A^H A + lam I) x = A^H b.
+    let mut ata = crate::gemm::herm_matmul(a, a);
+    let tr: f64 = (0..n).map(|i| ata[(i, i)].re).sum();
+    let lam = lambda_rel * (tr / n as f64).max(f64::MIN_POSITIVE);
+    for i in 0..n {
+        ata[(i, i)] += Complex64::from_re(lam);
+    }
+    let mut atb = vec![Complex64::ZERO; n];
+    for i in 0..n {
+        let mut s = Complex64::ZERO;
+        for k in 0..m {
+            s += a[(k, i)].conj() * b[k];
+        }
+        atb[i] = s;
+    }
+    let rhs = CMat::from_vec(n, 1, atb);
+    let x = solve_hpd(&ata, &rhs).expect("regularized normal equations must be HPD");
+    (0..n).map(|i| x[(i, 0)]).collect()
+}
+
+/// Real-valued convenience wrapper: solves the same problem when all data
+/// are real (density mixing histories).
+pub fn lstsq_real(a_cols: &[Vec<f64>], b: &[f64], lambda_rel: f64) -> Vec<f64> {
+    let n = a_cols.len();
+    assert!(n > 0);
+    let m = b.len();
+    let a = CMat::from_fn(m, n, |r, c| Complex64::from_re(a_cols[c][r]));
+    let bc: Vec<Complex64> = b.iter().map(|&x| Complex64::from_re(x)).collect();
+    lstsq(&a, &bc, lambda_rel).into_iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn exact_system_recovered() {
+        // Square well-conditioned system: x should satisfy Ax = b.
+        let a = CMat::from_fn(3, 3, |r, c| {
+            if r == c {
+                c64(2.0 + r as f64, 0.0)
+            } else {
+                c64(0.1, 0.05 * (r as f64 - c as f64))
+            }
+        });
+        let x_true = vec![c64(1.0, -1.0), c64(0.5, 0.25), c64(-2.0, 0.0)];
+        let b = a.mul_vec(&x_true);
+        let x = lstsq(&a, &b, 1e-14);
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-9, "component {i}: {:?}", x[i]);
+        }
+    }
+
+    #[test]
+    fn overdetermined_projects() {
+        // A has orthogonal columns; LS solution is the coordinate projection.
+        let a = CMat::from_fn(4, 2, |r, c| {
+            Complex64::from_re(if r == c { 1.0 } else { 0.0 })
+        });
+        let b = vec![c64(3.0, 1.0), c64(-2.0, 0.0), c64(9.0, 9.0), c64(1.0, 1.0)];
+        let x = lstsq(&a, &b, 1e-14);
+        assert!((x[0] - c64(3.0, 1.0)).abs() < 1e-10);
+        assert!((x[1] - c64(-2.0, 0.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn regularization_handles_rank_deficiency() {
+        // Two identical columns: unregularized normal equations are singular.
+        let a = CMat::from_fn(5, 2, |r, _| c64(r as f64 + 1.0, 0.0));
+        let b: Vec<Complex64> = (0..5).map(|r| c64(2.0 * (r as f64 + 1.0), 0.0)).collect();
+        let x = lstsq(&a, &b, 1e-8);
+        // Symmetric split: each column gets weight ~1.
+        assert!((x[0] - x[1]).abs() < 1e-6);
+        assert!(((x[0] + x[1]).re - 2.0).abs() < 1e-5);
+        assert!(x.iter().all(|z| z.is_finite()));
+    }
+
+    #[test]
+    fn real_wrapper_matches() {
+        let cols = vec![vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]];
+        let b = vec![1.0, 2.0, 3.0];
+        let x = lstsq_real(&cols, &b, 1e-12);
+        // Exact solution of this consistent system is (1, 2).
+        assert!((x[0] - 1.0).abs() < 1e-8);
+        assert!((x[1] - 2.0).abs() < 1e-8);
+    }
+}

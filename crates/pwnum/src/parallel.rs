@@ -1,0 +1,190 @@
+//! Minimal data-parallel helpers built on scoped threads.
+//!
+//! This plays the role OpenMP plays in the paper's node-level code: a
+//! `parallel for` over independent chunks (bands, grid planes, matrix row
+//! blocks). We deliberately avoid a global thread-pool dependency:
+//! scoped threads keep all borrows safe without `unsafe`, and small
+//! workloads (below the `MIN_PARALLEL*` thresholds) run inline so spawn
+//! overhead never dominates tiny grids.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for data-parallel regions.
+///
+/// Defaults to the machine's available parallelism, clamped to `max`.
+/// Respects the `PWDFT_NUM_THREADS` environment variable when set
+/// (mirroring `OMP_NUM_THREADS` in the paper's runs).
+pub fn num_threads(max: usize) -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let mut n = CACHED.load(Ordering::Relaxed);
+    if n == 0 {
+        n = std::env::var("PWDFT_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            });
+        CACHED.store(n, Ordering::Relaxed);
+    }
+    n.min(max).max(1)
+}
+
+/// Runs `body(start, end)` over disjoint index ranges covering `0..len`,
+/// in parallel across up to `num_threads` workers.
+///
+/// `body` must be `Sync` because it is shared by all workers; disjointness
+/// of the ranges is what makes per-range mutation safe at the call site
+/// (callers split their output buffers with `chunks_mut`).
+pub fn par_ranges<F>(len: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    // Below this size, scoped-thread spawn overhead exceeds the work;
+    // run inline (tiny systems and unit tests hit this constantly).
+    const MIN_PARALLEL: usize = 4096;
+    let workers = if len < MIN_PARALLEL { 1 } else { num_threads(len) };
+    if workers == 1 {
+        body(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            s.spawn(move || body(start, end));
+        }
+    });
+}
+
+/// Applies `f` to every mutable chunk of `data` (each of `chunk_len`
+/// elements, the last possibly shorter) in parallel, passing the chunk
+/// index. This is the "parallel loop over bands" idiom: a wavefunction
+/// array laid out band-major is processed band-by-band.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks <= 1 {
+        if !data.is_empty() {
+            f(0, data);
+        }
+        return;
+    }
+    // Spawning threads for small total work costs more than it saves.
+    const MIN_PARALLEL_ELEMS: usize = 1 << 15;
+    let workers =
+        if data.len() < MIN_PARALLEL_ELEMS { 1 } else { num_threads(n_chunks) };
+    if workers == 1 {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    // Collect raw chunk boundaries up front so each worker can claim chunks
+    // dynamically (load balancing for uneven per-band costs).
+    let chunks: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
+    let slots: Vec<parking_slot::Slot<T>> = chunks
+        .into_iter()
+        .map(|c| parking_slot::Slot(std::sync::Mutex::new(Some(c))))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let counter = &counter;
+            let slots = &slots;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let chunk = slots[i].0.lock().unwrap().take().expect("chunk claimed twice");
+                f(i, chunk);
+            });
+        }
+    });
+}
+
+mod parking_slot {
+    //! One-shot hand-off cell used by the dynamic scheduler above.
+    pub struct Slot<'a, T>(pub std::sync::Mutex<Option<&'a mut [T]>>);
+}
+
+/// Parallel map over indices `0..len`, collecting results in order.
+pub fn par_map<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); len];
+    {
+        let out_slice = &mut out[..];
+        let f = &f;
+        par_chunks_mut(out_slice, 1, move |i, c| {
+            c[0] = f(i);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ranges_cover_everything_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        par_ranges(1000, |a, b| {
+            for i in a..b {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn ranges_empty_is_noop() {
+        par_ranges(0, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn chunks_mut_processes_all_chunks() {
+        let mut data = vec![0u64; 37];
+        par_chunks_mut(&mut data, 5, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v = idx as u64 + 1;
+            }
+        });
+        // 37 = 7 chunks of 5 + 1 chunk of 2.
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 5) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn par_map_ordered() {
+        let v = par_map(100, |i| i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn num_threads_at_least_one() {
+        assert!(num_threads(usize::MAX) >= 1);
+        assert_eq!(num_threads(1), 1);
+    }
+}

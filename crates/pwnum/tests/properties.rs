@@ -1,0 +1,105 @@
+//! Property-based tests for the pwnum linear algebra kernels.
+
+use proptest::prelude::*;
+use pwnum::chol::{cholesky, solve_hpd};
+use pwnum::cmat::CMat;
+use pwnum::complex::{c64, Complex64};
+use pwnum::eig::{eigh, reconstruct};
+use pwnum::gemm::{gemm, herm_matmul, Op};
+
+fn cmat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), rows * cols).prop_map(move |v| {
+        CMat::from_vec(rows, cols, v.into_iter().map(|(re, im)| c64(re, im)).collect())
+    })
+}
+
+fn hermitian_strategy(n: usize) -> impl Strategy<Value = CMat> {
+    cmat_strategy(n, n).prop_map(|a| a.hermitian_part())
+}
+
+fn hpd_strategy(n: usize) -> impl Strategy<Value = CMat> {
+    cmat_strategy(n, n).prop_map(move |a| {
+        let mut m = herm_matmul(&a, &a);
+        for i in 0..n {
+            m[(i, i)] += Complex64::from_re(0.5 + n as f64);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_associative(a in cmat_strategy(4, 3), b in cmat_strategy(3, 5), c in cmat_strategy(5, 2)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-12);
+    }
+
+    #[test]
+    fn gemm_respects_herm_identity(a in cmat_strategy(4, 6), b in cmat_strategy(4, 6)) {
+        // (A^H B)^H == B^H A
+        let ab = herm_matmul(&a, &b);
+        let ba = herm_matmul(&b, &a);
+        prop_assert!(ab.herm().max_abs_diff(&ba) < 1e-12);
+    }
+
+    #[test]
+    fn eigh_reconstructs(a in hermitian_strategy(6)) {
+        let e = eigh(&a);
+        prop_assert!(reconstruct(&e).max_abs_diff(&a) < 1e-10);
+        // Eigenvectors unitary.
+        let vhv = herm_matmul(&e.vectors, &e.vectors);
+        prop_assert!(vhv.max_abs_diff(&CMat::identity(6)) < 1e-10);
+        // Eigenvalues real and sorted.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigh_trace_identity(a in hermitian_strategy(5)) {
+        let e = eigh(&a);
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - a.trace().re).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_roundtrip(a in hpd_strategy(5)) {
+        let l = cholesky(&a).expect("HPD by construction");
+        let llh = gemm(Complex64::ONE, &l, Op::None, &l, Op::ConjTrans, Complex64::ZERO, None);
+        prop_assert!(llh.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn hpd_solve_residual(a in hpd_strategy(4), b in cmat_strategy(4, 2)) {
+        let x = solve_hpd(&a, &b).expect("HPD by construction");
+        let ax = a.matmul(&x);
+        prop_assert!(ax.max_abs_diff(&b) < 1e-8);
+    }
+
+    #[test]
+    fn overlap_rotation_consistency(
+        data in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 3 * 16),
+        qdata in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 9),
+    ) {
+        // overlap(A·Q, A·Q) == Q^H overlap(A, A) Q for any Q.
+        let a: Vec<Complex64> = data.into_iter().map(|(re, im)| c64(re, im)).collect();
+        let q = CMat::from_vec(3, 3, qdata.into_iter().map(|(re, im)| c64(re, im)).collect());
+        let mut rotated = vec![Complex64::ZERO; a.len()];
+        pwnum::bands::rotate(&a, &q, 16, &mut rotated);
+        let s = pwnum::bands::overlap(&a, &a, 16, 1.0);
+        let s_rot = pwnum::bands::overlap(&rotated, &rotated, 16, 1.0);
+        let expect = gemm(Complex64::ONE, &q, Op::ConjTrans, &s.matmul(&q), Op::None, Complex64::ZERO, None);
+        prop_assert!(s_rot.max_abs_diff(&expect) < 1e-10);
+    }
+
+    #[test]
+    fn hermitian_part_projects(a in cmat_strategy(5, 5)) {
+        let h = a.hermitian_part();
+        prop_assert!(h.hermiticity_error() < 1e-13);
+        // Applying twice changes nothing.
+        prop_assert!(h.hermitian_part().max_abs_diff(&h) < 1e-13);
+    }
+}

@@ -1,0 +1,85 @@
+//! Optical absorption from real-time dynamics (the classic rt-TDDFT
+//! application the paper's introduction motivates).
+//!
+//! A weak delta-kick `ψ → e^{i k·x_saw} ψ` polarizes the system at t=0;
+//! the field-free dipole response d(t) is then propagated with PT-IM and
+//! Fourier-transformed into the absorption strength
+//! `S(ω) ∝ ω·Im[d(ω)]/k`.
+//!
+//! ```bash
+//! cargo run --release --example absorption_spectrum
+//! ```
+
+use pwdft_repro::ptim::laser::{sawtooth_x, AU_TIME_FS};
+use pwdft_repro::ptim::{ptim_step, HybridParams, LaserPulse, PtimConfig, TdEngine, TdState};
+use pwdft_repro::pwdft::{scf_lda, Cell, DftSystem, ScfConfig};
+use pwdft_repro::pwnum::complex::Complex64;
+
+fn main() {
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 3.0, [10, 10, 10]);
+    let cfg = ScfConfig { n_bands: 20, temperature_k: 300.0, ..Default::default() };
+    println!("ground state (LDA, 300 K)...");
+    let gs = scf_lda(&sys, &cfg);
+    println!("E = {:.6} Ha after {} iterations", gs.energies.total(), gs.iterations);
+
+    // Delta kick along x: multiply each orbital by exp(i k x).
+    let kick = 1e-3;
+    let x = sawtooth_x(&sys.grid);
+    let mut state = TdState::from_ground_state(&gs);
+    {
+        let fft = &sys.fft;
+        let ng = sys.grid.len();
+        let mut real = state.phi.to_real_all(fft);
+        for band in real.chunks_mut(ng) {
+            for (z, &xi) in band.iter_mut().zip(&x) {
+                *z = *z * Complex64::cis(kick * xi);
+            }
+        }
+        state.phi = pwdft_repro::pwdft::Wavefunction::from_real(&sys.grid, fft, real);
+        state.phi.mask(&sys.grid);
+        state.phi.orthonormalize_lowdin();
+    }
+
+    // Field-free propagation, recording the dipole (semilocal functional
+    // for speed; swap HybridParams::default() in for the hybrid spectrum).
+    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.106 });
+    let dt = 4.0; // a.u. (~97 as) — the PT gauge tolerates large steps
+    let n_steps = 96;
+    let ptim_cfg = PtimConfig { dt, max_scf: 25, tol_rho: 1e-8, ..Default::default() };
+    let mut dipole = Vec::with_capacity(n_steps + 1);
+    let ev0 = eng.eval(&state.phi, &state.sigma, 0.0);
+    let d0 = eng.dipole_x(&ev0.rho);
+    dipole.push(0.0);
+    println!("propagating {n_steps} steps of {:.1} as...", dt * pwdft_repro::ptim::laser::AU_TIME_AS);
+    for step in 0..n_steps {
+        let (next, stats) = ptim_step(&eng, &state, &ptim_cfg);
+        state = next;
+        let ev = eng.eval(&state.phi, &state.sigma, state.time);
+        dipole.push(eng.dipole_x(&ev.rho) - d0);
+        if (step + 1) % 16 == 0 {
+            println!("  t = {:5.2} fs (SCF {}, residual {:.1e})",
+                state.time * AU_TIME_FS, stats.scf_iters, stats.residual);
+        }
+    }
+
+    // Discrete Fourier transform of the damped dipole signal.
+    println!("\n# absorption strength S(ω) ∝ ω·Im d(ω)/kick");
+    println!("# omega(eV)  S(arb)");
+    let damping = 0.05; // exponential window
+    let t_total = dt * n_steps as f64;
+    for m in 1..40 {
+        let omega = 2.0 * std::f64::consts::PI * m as f64 / t_total;
+        let mut acc = Complex64::ZERO;
+        for (k, d) in dipole.iter().enumerate() {
+            let t = k as f64 * dt;
+            let w = (-damping * t / t_total * 10.0).exp();
+            acc += Complex64::cis(omega * t).scale(d * w);
+        }
+        let s = omega * acc.im * dt / kick;
+        let ev = omega * 27.211_386;
+        let bar_len = (s.abs() * 3.0).min(60.0) as usize;
+        println!("{ev:8.3}  {s:+.4e}  {}", "#".repeat(bar_len));
+    }
+    println!("\npeaks mark dipole-allowed transitions of the silicon cell;");
+    println!("with the hybrid functional they shift to larger gaps (the paper's motivation).");
+}

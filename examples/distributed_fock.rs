@@ -1,0 +1,90 @@
+//! Distributed Fock exchange demo: the paper's three wavefunction
+//! exchange strategies (Bcast / Ring / AsyncRing) running for real on the
+//! mpisim runtime, with identical physics and different communication
+//! profiles.
+//!
+//! ```bash
+//! cargo run --release --example distributed_fock
+//! ```
+
+use pwdft_repro::mpisim::{Category, Cluster, NetworkModel, Topology};
+use pwdft_repro::ptim::distributed::{dist_fock_apply, BandDistribution, ExchangeStrategy};
+use pwdft_repro::pwdft::{Cell, DftSystem, FockOperator, Wavefunction};
+use pwdft_repro::pwnum::cmat::CMat;
+use pwdft_repro::pwnum::eigh;
+
+fn main() {
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.5, [8, 8, 8]);
+    let n_bands = 16;
+    let p = 8;
+
+    // A mixed state: Fermi-like σ with off-diagonals, then its natural
+    // orbitals (the paper's diagonalization step).
+    let phi = Wavefunction::random(&sys.grid, n_bands, 11);
+    let occ: Vec<f64> =
+        (0..n_bands).map(|i| 1.0 / (1.0 + ((i as f64 - 8.0) * 0.6).exp())).collect();
+    let sigma = CMat::from_real_diag(&occ);
+    let e = eigh(&sigma);
+    let nat = phi.rotated(&e.vectors);
+    let nat_r = nat.to_real_all(&sys.fft);
+    let phi_r = phi.to_real_all(&sys.fft);
+    let ng = sys.grid.len();
+
+    // Serial reference.
+    let fock = FockOperator::new(&sys.grid, 0.106);
+    let serial = fock.apply_diag(&nat_r, &e.values, &phi_r);
+
+    // A deliberately slow network so the strategy differences are visible.
+    let net = NetworkModel {
+        topology: Topology::Torus(vec![2, 2, 2]),
+        hop_latency: 2e-6,
+        sw_overhead: 2e-6,
+        bandwidth: 5e8,
+        shm_bandwidth: 5e9,
+        shm_latency: 2e-7,
+    };
+
+    println!("distributed VxΦ on {p} ranks ({n_bands} bands, {ng} grid points):\n");
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12} {:>14}", "strategy", "Bcast(ms)", "Sendrecv(ms)", "Wait(ms)", "total(ms)", "max|Δ| vs serial");
+    for strategy in
+        [ExchangeStrategy::Bcast, ExchangeStrategy::Ring, ExchangeStrategy::AsyncRing]
+    {
+        let serial_ref = serial.clone();
+        let nat_r = nat_r.clone();
+        let phi_r = phi_r.clone();
+        let values = e.values.clone();
+        let sys_ref = &sys;
+        let out = Cluster::new(p, 4, net.clone()).run(move |c| {
+            let dist = BandDistribution::new(n_bands, c.size());
+            let my = dist.range(c.rank());
+            let fock = FockOperator::new(&sys_ref.grid, 0.106);
+            let nat_local = nat_r[my.start * ng..my.end * ng].to_vec();
+            let psi_local = phi_r[my.start * ng..my.end * ng].to_vec();
+            let vx =
+                dist_fock_apply(c, &fock, &dist, &nat_local, &values, &psi_local, strategy);
+            let want = &serial_ref[my.start * ng..my.end * ng];
+            let err = pwdft_repro::pwnum::cvec::max_abs_diff(&vx, want);
+            (
+                c.stats.time(Category::Bcast) * 1e3,
+                c.stats.time(Category::Sendrecv) * 1e3,
+                c.stats.time(Category::Wait) * 1e3,
+                err,
+            )
+        });
+        let agg = out.iter().fold((0.0f64, 0.0f64, 0.0f64, 0.0f64), |a, ((b, s, w, e), _)| {
+            (a.0.max(*b), a.1.max(*s), a.2.max(*w), a.3.max(*e))
+        });
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>14.2e}",
+            format!("{strategy:?}"),
+            agg.0,
+            agg.1,
+            agg.2,
+            agg.0 + agg.1 + agg.2,
+            agg.3
+        );
+    }
+    println!("\nall three strategies compute identical physics; the virtual-clock");
+    println!("network model shows the Bcast→Ring→Async communication migration of");
+    println!("the paper's Table I (Sec. IV-B).");
+}

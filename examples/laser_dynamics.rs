@@ -1,0 +1,66 @@
+//! Finite-temperature laser-driven dynamics: how temperature changes the
+//! electronic response (the physics regime the paper's PT-IM method
+//! unlocks at scale).
+//!
+//! Propagates the same 8-atom silicon cell at 300 K (nearly pure state)
+//! and 8000 K (strongly mixed state) under one pulse and compares the
+//! occupation-matrix dynamics.
+//!
+//! ```bash
+//! cargo run --release --example laser_dynamics
+//! ```
+
+use pwdft_repro::ptim::laser::{AU_TIME_AS, AU_TIME_FS};
+use pwdft_repro::ptim::{ptim_ace_step, HybridParams, LaserPulse, PtimAceConfig, TdEngine, TdState};
+use pwdft_repro::pwdft::{scf_hybrid, scf_lda, Cell, DftSystem, HybridConfig, ScfConfig};
+
+fn run_temperature(sys: &DftSystem, temp_k: f64) -> (f64, f64, f64) {
+    let cfg = ScfConfig { n_bands: 24, temperature_k: temp_k, ..Default::default() };
+    let gs = scf_lda(sys, &cfg);
+    let gs = scf_hybrid(sys, &cfg, &HybridConfig { outer_iters: 2, ..Default::default() }, gs);
+    let fractional =
+        gs.occ.iter().filter(|&&f| f > 0.01 && f < 0.99).count();
+    println!(
+        "  T = {temp_k:6.0} K: E = {:+.6} Ha, fractional occupations: {fractional}",
+        gs.energies.total()
+    );
+
+    let pulse = LaserPulse::paper_pulse(0.04, 1.5);
+    let eng = TdEngine::new(sys, pulse, HybridParams::default());
+    let mut state = TdState::from_ground_state(&gs);
+    let cfg_td = PtimAceConfig { dt: 50.0 / AU_TIME_AS, ..Default::default() };
+
+    let e_start = eng.total_energy(&state).total();
+    let n_steps = 12;
+    for _ in 0..n_steps {
+        let (next, _) = ptim_ace_step(&eng, &state, &cfg_td);
+        state = next;
+    }
+    let e_end = eng.total_energy(&state).total();
+
+    // Occupation redistribution: total |σ - σ(0)| off-diagonal weight.
+    let mut off = 0.0;
+    for i in 0..24 {
+        for j in 0..24 {
+            if i != j {
+                off += state.sigma[(i, j)].abs();
+            }
+        }
+    }
+    (e_end - e_start, off, state.time * AU_TIME_FS)
+}
+
+fn main() {
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 3.0, [10, 10, 10]);
+    println!("8-atom Si under a strong 380 nm pulse (hybrid functional, PT-IM-ACE):\n");
+    println!("preparing and propagating at two temperatures...");
+    let (de_cold, off_cold, t) = run_temperature(&sys, 300.0);
+    let (de_hot, off_hot, _) = run_temperature(&sys, 8000.0);
+
+    println!("\nafter {t:.2} fs of irradiation:");
+    println!("  energy absorbed  : {de_cold:+.3e} Ha (300 K) vs {de_hot:+.3e} Ha (8000 K)");
+    println!("  σ off-diag weight: {off_cold:.3e} (300 K) vs {off_hot:.3e} (8000 K)");
+    println!("\nat 8000 K the fractionally-occupied manifold participates in the");
+    println!("response — exactly the mixed-state regime where the paper's σ");
+    println!("diagonalization and PT-IM integrator earn their keep.");
+}

@@ -1,0 +1,28 @@
+//! # pwdft-repro
+//!
+//! Umbrella crate for the Rust reproduction of *"Large Scale
+//! Finite-Temperature Real-Time Time Dependent Density Functional Theory
+//! Calculation with Hybrid Functional on ARM and GPU Systems"* (IPPS 2025).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * [`pwnum`] — complex arithmetic and dense linear algebra,
+//! * [`pwfft`] — mixed-radix FFTs over plane-wave grids,
+//! * [`mpisim`] — a thread-backed MPI-like runtime with a virtual-clock
+//!   network model,
+//! * [`pwdft`] — the plane-wave Kohn–Sham DFT substrate (Hamiltonian,
+//!   SCF, screened Fock exchange, ACE),
+//! * [`ptim`] — the paper's contribution: PT-IM and PT-IM-ACE
+//!   finite-temperature rt-TDDFT propagators, serial and distributed,
+//! * [`perfmodel`] — calibrated performance models of the Fugaku (ARM)
+//!   and A100 (GPU) platforms used for the scaling studies.
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use mpisim;
+pub use perfmodel;
+pub use ptim;
+pub use pwdft;
+pub use pwfft;
+pub use pwnum;

@@ -1,0 +1,92 @@
+//! Integration tests of the ground-state pipeline that feeds rt-TDDFT:
+//! SCF physics invariants at the cross-crate level.
+
+use pwdft_repro::pwdft::{
+    density::electron_count, scf_hybrid, scf_lda, Cell, DftSystem, HybridConfig, ScfConfig,
+};
+use pwdft_repro::pwnum;
+
+fn sys_and_cfg(temp_k: f64) -> (DftSystem, ScfConfig) {
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 3.0, [10, 10, 10]);
+    let cfg = ScfConfig {
+        n_bands: 24,
+        temperature_k: temp_k,
+        tol_rho: 1e-5,
+        max_scf: 50,
+        davidson_iters: 8,
+        davidson_tol: 1e-7,
+        mix_depth: 12,
+        mix_beta: 0.6,
+        seed: 11,
+    };
+    (sys, cfg)
+}
+
+#[test]
+fn scf_reaches_self_consistency_and_sane_physics() {
+    let (sys, cfg) = sys_and_cfg(8000.0);
+    let gs = scf_lda(&sys, &cfg);
+    // Converged and charge-conserving.
+    assert!(gs.rho_residual < 1e-4, "residual {}", gs.rho_residual);
+    assert!((electron_count(&sys.grid, &gs.rho) - 32.0).abs() < 1e-6);
+    // Bound crystal with every energy term of the right sign.
+    assert!(gs.energies.total() < 0.0);
+    assert!(gs.energies.kinetic > 0.0);
+    assert!(gs.energies.hartree > 0.0);
+    assert!(gs.energies.xc < 0.0);
+    assert!(gs.energies.ewald < 0.0);
+    // Chemical potential sits between band edges.
+    assert!(gs.mu > gs.eigs[0] && gs.mu < *gs.eigs.last().unwrap());
+    // Density is nonnegative everywhere.
+    assert!(gs.rho.iter().all(|&r| r > -1e-12));
+}
+
+#[test]
+fn occupations_respond_to_temperature() {
+    let (sys, cfg_hot) = sys_and_cfg(8000.0);
+    let hot = scf_lda(&sys, &cfg_hot);
+    let (_, cfg_cold) = sys_and_cfg(300.0);
+    let cold = scf_lda(&sys, &cfg_cold);
+    let frac = |occ: &[f64]| occ.iter().filter(|&&f| f > 0.01 && f < 0.99).count();
+    assert!(
+        frac(&hot.occ) > frac(&cold.occ),
+        "8000 K must smear more states than 300 K: {} vs {}",
+        frac(&hot.occ),
+        frac(&cold.occ)
+    );
+    // Entropy ordering matches.
+    let s_hot = pwdft_repro::pwdft::smearing::entropy(&hot.occ);
+    let s_cold = pwdft_repro::pwdft::smearing::entropy(&cold.occ);
+    assert!(s_hot > s_cold);
+}
+
+#[test]
+fn hybrid_stage_physics() {
+    let (sys, cfg) = sys_and_cfg(8000.0);
+    let gs = scf_lda(&sys, &cfg);
+    let lda_gap_proxy = gs.eigs[17] - gs.eigs[15];
+    let gsh = scf_hybrid(&sys, &cfg, &HybridConfig { outer_iters: 3, ..Default::default() }, gs);
+    // Exact exchange is attractive.
+    assert!(gsh.energies.exact_exchange < 0.0);
+    // Charge still conserved through the ACE loop.
+    assert!((electron_count(&sys.grid, &gsh.rho) - 32.0).abs() < 1e-6);
+    // Orbitals stay orthonormal.
+    let s = gsh.phi.overlap(&gsh.phi);
+    assert!(s.max_abs_diff(&pwnum::CMat::identity(24)) < 1e-7);
+    // Hybrid functionals widen level spacings vs LDA (the band-gap
+    // correction that motivates the paper's hybrid rt-TDDFT).
+    let hyb_gap_proxy = gsh.eigs[17] - gsh.eigs[15];
+    assert!(
+        hyb_gap_proxy > lda_gap_proxy - 5e-3,
+        "hybrid spacing {hyb_gap_proxy} vs LDA {lda_gap_proxy}"
+    );
+}
+
+#[test]
+fn scf_is_deterministic_for_fixed_seed() {
+    let (sys, cfg) = sys_and_cfg(8000.0);
+    let a = scf_lda(&sys, &cfg);
+    let b = scf_lda(&sys, &cfg);
+    assert!((a.energies.total() - b.energies.total()).abs() < 1e-10);
+    assert!((a.mu - b.mu).abs() < 1e-10);
+}

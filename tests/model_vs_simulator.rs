@@ -1,0 +1,185 @@
+//! Cross-validation of the analytic performance model against the
+//! discrete-event mpisim runtime: the closed-form communication costs of
+//! `perfmodel::comm` must track the virtual clocks the simulator actually
+//! produces for the same patterns at small rank counts.
+
+use pwdft_repro::mpisim::{Category, Cluster, NetworkModel, Topology};
+use pwdft_repro::perfmodel::{comm, Platform};
+
+/// A platform whose network parameters exactly mirror `net` so the
+/// closed forms and the simulator price messages identically.
+fn platform_like(net: &NetworkModel) -> Platform {
+    let mut pf = Platform::fugaku_arm();
+    pf.net_bw = net.bandwidth;
+    pf.net_latency = net.hop_latency + net.sw_overhead;
+    pf.bcast_penalty = 1.0;
+    pf.ranks_per_node = 1;
+    pf
+}
+
+fn test_net() -> NetworkModel {
+    NetworkModel {
+        topology: Topology::FullyConnected,
+        hop_latency: 1e-6,
+        sw_overhead: 0.0,
+        bandwidth: 1e9,
+        shm_bandwidth: 1e9,
+        shm_latency: 1e-6,
+    }
+}
+
+#[test]
+fn ring_formula_matches_simulator() {
+    let net = test_net();
+    let pf = platform_like(&net);
+    for p in [2usize, 4, 8, 16] {
+        let bytes = 1_000_000usize;
+        let out = Cluster::new(p, 1, net.clone()).run(move |c| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            let mut block = vec![0u8; bytes];
+            for step in 0..c.size() - 1 {
+                block = c.sendrecv(left, right, step as u64, block);
+            }
+            c.stats.time(Category::Sendrecv)
+        });
+        let measured = out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+        let model = comm::ring_time(&pf, p, bytes as f64);
+        let ratio = measured / model;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "p={p}: measured {measured:.6} vs model {model:.6} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn bcast_cheaper_than_per_rank_bcasts_like_model_predicts() {
+    // The *relative* claim behind the paper's ring optimization: per-root
+    // broadcasts of everyone's block cost more than one ring rotation.
+    let net = test_net();
+    let pf = platform_like(&net);
+    let p = 8;
+    let bytes = 500_000usize;
+
+    let out = Cluster::new(p, 1, net.clone()).run(move |c| {
+        // All-roots broadcast (the baseline Fock exchange pattern).
+        for root in 0..c.size() {
+            let payload = if c.rank() == root { Some(vec![0u8; bytes]) } else { None };
+            let _ = c.bcast(root, payload);
+        }
+        let t_bcast = c.stats.time(Category::Bcast);
+        // Ring rotation of the same data volume.
+        let right = (c.rank() + 1) % c.size();
+        let left = (c.rank() + c.size() - 1) % c.size();
+        let mut block = vec![0u8; bytes];
+        for step in 0..c.size() - 1 {
+            block = c.sendrecv(left, right, 1000 + step as u64, block);
+        }
+        let t_ring = c.stats.time(Category::Sendrecv);
+        (t_bcast, t_ring)
+    });
+    let bcast = out.iter().map(|((b, _), _)| *b).fold(0.0f64, f64::max);
+    let ring = out.iter().map(|((_, r), _)| *r).fold(0.0f64, f64::max);
+    assert!(bcast > ring, "measured bcast {bcast} must exceed ring {ring}");
+
+    // Model agrees on the direction and rough magnitude of the ratio.
+    let model_bcast: f64 = (0..p).map(|_| comm::bcast_time(&pf, p, bytes as f64)).sum();
+    let model_ring = comm::ring_time(&pf, p, bytes as f64);
+    let measured_ratio = bcast / ring;
+    let model_ratio = model_bcast / model_ring;
+    assert!(
+        measured_ratio / model_ratio > 0.3 && measured_ratio / model_ratio < 3.0,
+        "ratio mismatch: measured {measured_ratio:.2} vs model {model_ratio:.2}"
+    );
+}
+
+#[test]
+fn allreduce_formula_tracks_simulator() {
+    let net = test_net();
+    let pf = platform_like(&net);
+    for p in [2usize, 4, 8] {
+        let n = 100_000usize;
+        let out = Cluster::new(p, 1, net.clone()).run(move |c| {
+            let v = vec![1.0f64; n];
+            let _ = c.allreduce(v);
+            c.stats.time(Category::Allreduce)
+        });
+        let measured = out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+        let model = comm::allreduce_time(&pf, p, (n * 8) as f64);
+        // The simulator uses a binomial tree (log p bandwidth passes);
+        // the model prices the pipelined production algorithm (2 passes).
+        // They must agree within the log2(p) algorithmic factor.
+        let ratio = measured / model;
+        let bound = comm::log2_ceil(p).max(1.0) * 1.5;
+        assert!(
+            ratio > 0.3 && ratio < bound + 0.5,
+            "p={p}: measured {measured:.6} vs model {model:.6} (ratio {ratio:.2}, bound {bound})"
+        );
+    }
+}
+
+#[test]
+fn async_ring_overlap_reduces_visible_time() {
+    // The paper's Sec. IV-B2 claim, measured: with compute between ring
+    // steps, the async ring's Wait time is below the synchronous ring's
+    // Sendrecv time.
+    let net = test_net();
+    let p = 8;
+    let bytes = 2_000_000usize;
+    let compute_per_step = 1.0e-3; // 1 ms of overlappable work
+
+    let sync_out = Cluster::new(p, 1, net.clone()).run(move |c| {
+        let right = (c.rank() + 1) % c.size();
+        let left = (c.rank() + c.size() - 1) % c.size();
+        let mut block = vec![0u8; bytes];
+        for step in 0..c.size() - 1 {
+            c.compute(compute_per_step);
+            block = c.sendrecv(left, right, step as u64, block);
+        }
+        c.compute(compute_per_step);
+        c.stats.time(Category::Sendrecv)
+    });
+    let async_out = Cluster::new(p, 1, net.clone()).run(move |c| {
+        let right = (c.rank() + 1) % c.size();
+        let left = (c.rank() + c.size() - 1) % c.size();
+        let mut block = vec![0u8; bytes];
+        for step in 0..c.size() - 1 {
+            let rreq = c.irecv(left, step as u64);
+            let _ = c.isend(right, step as u64, block.clone());
+            c.compute(compute_per_step);
+            block = c.wait(rreq).expect("ring block");
+        }
+        c.compute(compute_per_step);
+        c.stats.time(Category::Wait)
+    });
+    let t_sync = sync_out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+    let t_wait = async_out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+    assert!(
+        t_wait < 0.8 * t_sync,
+        "overlap must hide transfer time: wait {t_wait:.6} vs sendrecv {t_sync:.6}"
+    );
+}
+
+#[test]
+fn node_aware_allreduce_cheaper_on_simulator_too() {
+    let mut net = test_net();
+    net.shm_bandwidth = 1e11; // fast intra-node
+    net.shm_latency = 1e-8;
+    let p = 16;
+    let n = 200_000usize;
+    let flat = Cluster::new(p, 1, net.clone()).run(move |c| {
+        let _ = c.allreduce(vec![1.0f64; n]);
+        c.stats.time(Category::Allreduce)
+    });
+    let aware = Cluster::new(p, 4, net.clone()).run(move |c| {
+        let _ = c.allreduce_node_aware(vec![1.0f64; n]);
+        c.stats.time(Category::Allreduce)
+    });
+    let t_flat = flat.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+    let t_aware = aware.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+    assert!(
+        t_aware < t_flat,
+        "node-aware allreduce {t_aware:.6} should beat flat {t_flat:.6}"
+    );
+}

@@ -8,7 +8,7 @@ use pwdft::Wavefunction;
 pub struct TdState {
     /// Orbitals (G-space, orthonormal).
     pub phi: Wavefunction,
-    /// Occupation matrix σ (Hermitian, eigenvalues in [0,1]).
+    /// Occupation matrix σ (Hermitian, eigenvalues in `[0,1]`).
     pub sigma: CMat,
     /// Physical time (a.u.).
     pub time: f64,

@@ -1,7 +1,7 @@
 //! Adaptively Compressed Exchange (ACE) operator — paper Sec. IV-A2.
 //!
 //! Given `W = Vx Φ` on the current orbital set, Lin's construction
-//! (Ref. [37]) builds the rank-N operator
+//! (Ref. \[37\]) builds the rank-N operator
 //!
 //! ```text
 //! M = Φ^H W            (Hermitian, negative semi-definite)

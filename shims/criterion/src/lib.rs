@@ -1,0 +1,195 @@
+//! # criterion (offline stand-in)
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the subset of `criterion` the `bench` crate uses:
+//! [`Criterion`], [`BenchmarkGroup`] (`bench_function`,
+//! `bench_with_input`, `sample_size`, `finish`), [`Bencher::iter`],
+//! [`BenchmarkId::new`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, one untimed warm-up call, then up
+//! to `sample_size` timed samples capped by a per-benchmark time
+//! budget; the median per-iteration wall time is printed as
+//! `<group>/<id> ... <t> per iter`. No statistics files are written —
+//! this is a smoke-and-ballpark harness, not a statistics engine.
+//! Passing `--test` (as `cargo test --benches` does) runs each body
+//! exactly once.
+//!
+//! See `DESIGN.md` §"Dependency shims".
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Soft wall-clock budget per benchmark id.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark context, handed to every `criterion_group!`
+/// target function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, criterion: self }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`, labelling it `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input, labelling it `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group. (Statistics finalization in real criterion;
+    /// a no-op here.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { samples: Vec::new(), test_mode: self.criterion.test_mode };
+        if bencher.test_mode {
+            f(&mut bencher);
+            println!("{}/{}: ok (test mode)", self.name, id.label);
+            return;
+        }
+        // Warm-up pass (also fills caches / lazy statics).
+        f(&mut bencher);
+        bencher.samples.clear();
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if start.elapsed() > BUDGET {
+                break;
+            }
+        }
+        bencher.samples.sort();
+        let median = bencher
+            .samples
+            .get(bencher.samples.len() / 2)
+            .copied()
+            .unwrap_or_default();
+        println!("{}/{:<28} {:>12} per iter", self.name, id.label, format_ns(median));
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of its per-call wall time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        self.samples.push(t0.elapsed());
+    }
+}
+
+/// A benchmark label, optionally parameterized (`name/param`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds a parameterized id rendered as `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Re-export so `criterion::black_box` resolves, as in the real crate.
+pub use std::hint::black_box;
+
+fn format_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,38 @@
+//! # crossbeam (offline stand-in)
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the subset of `crossbeam` the code base uses: the
+//! [`channel`] module's unbounded MPSC channel. `mpisim` builds a full
+//! rank-to-rank channel mesh (one channel per (src, dst) pair, each
+//! receiver owned by exactly one rank thread), so the std `mpsc`
+//! semantics — cloneable `Sender`, single-consumer `Receiver` — cover
+//! everything it needs.
+//!
+//! See `DESIGN.md` §"Dependency shims".
+
+pub mod channel {
+    //! Unbounded channels with the `crossbeam_channel` surface used by
+    //! `mpisim::comm`.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

@@ -269,10 +269,7 @@ impl Comm {
         if self.rank() == root {
             let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
             out[root] = mine;
-            for r in 0..p {
-                if r == root {
-                    continue;
-                }
+            for r in (0..p).filter(|&r| r != root) {
                 let env = self.take_env(r, tag, Category::Allgatherv);
                 out[r] = *env
                     .payload

@@ -348,14 +348,13 @@ impl Cluster {
         // Channel mesh: matrix[src][dst].
         let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(p);
         let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> = (0..p).map(|_| Vec::new()).collect();
-        for src in 0..p {
+        for _src in 0..p {
             let mut row_tx = Vec::with_capacity(p);
-            for dst in 0..p {
+            for rx_dst in rxs.iter_mut() {
                 let (tx, rx) = unbounded();
                 row_tx.push(tx);
-                rxs[dst].push(Some(rx));
+                rx_dst.push(Some(rx));
             }
-            let _ = src;
             txs.push(row_tx);
         }
 

@@ -87,12 +87,12 @@ impl Topology {
 }
 
 fn smallest_prime_factor(n: usize) -> usize {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return 2;
     }
     let mut p = 3;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return p;
         }
         p += 2;

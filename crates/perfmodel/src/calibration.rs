@@ -29,6 +29,8 @@ fn speedup(pf: &Platform, atoms: usize, nodes: usize, from: Variant, to: Variant
 }
 
 /// Builds the full paper-vs-model comparison.
+// The anchor ledger reads best as one push per paper claim.
+#[allow(clippy::vec_init_then_push)]
 pub fn report() -> Vec<Anchor> {
     let arm = Platform::fugaku_arm();
     let gpu = Platform::gpu_a100();

@@ -33,6 +33,10 @@ pub struct Platform {
     /// single-hop neighbor exchanges of the ring method — the 6D torus
     /// punishes broadcasts more than the fat tree).
     pub bcast_penalty: f64,
+    /// Whether ranks execute accelerator-style (batched device kernels,
+    /// as on the GPU platform) rather than per-call host threading —
+    /// the attribute compute-backend selection keys off.
+    pub accelerator: bool,
     /// MPI ranks per node.
     pub ranks_per_node: usize,
     /// Usable memory per rank (bytes).
@@ -62,6 +66,7 @@ impl Platform {
             net_bw: 6.8e9 / 4.0,
             net_latency: 1.2e-6,
             bcast_penalty: 4.3,
+            accelerator: false,
             ranks_per_node: 4,
             mem_per_rank: 8.0e9,
             kernel_overhead: 1.0e-6,
@@ -81,6 +86,7 @@ impl Platform {
             net_bw: 12.5e9 / 4.0,
             net_latency: 4.0e-6,
             bcast_penalty: 4.0,
+            accelerator: true,
             ranks_per_node: 4,
             mem_per_rank: 40.0e9,
             kernel_overhead: 1.0e-5,

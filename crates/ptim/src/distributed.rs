@@ -28,9 +28,10 @@ use crate::propagate::{density_residual, StepStats};
 use crate::state::TdState;
 use mpisim::Comm;
 use pwdft::density::SPIN_FACTOR;
-use pwdft::hamiltonian::build_hxc;
+use pwdft::hamiltonian::build_hxc_with;
 use pwdft::mixing::AndersonMixer;
 use pwdft::{DftSystem, FockOperator, Wavefunction};
+use pwnum::backend::default_backend;
 use pwnum::bands;
 use pwnum::chol::solve_hpd;
 use pwnum::cmat::CMat;
@@ -190,7 +191,7 @@ pub fn dist_overlap(
     let partial = if glen > 0 {
         let a_g = assemble(&a_t);
         let b_g = assemble(&b_t);
-        bands::overlap(&a_g, &b_g, glen, a_local.ip_scale)
+        default_backend().overlap(&a_g, &b_g, glen, a_local.ip_scale)
     } else {
         CMat::zeros(n, n)
     };
@@ -284,7 +285,9 @@ pub fn dist_fock_apply(
     let ng = fock.ng();
     let n_local_tgt = psi_r_local.len() / ng;
     let mut out = vec![Complex64::ZERO; psi_r_local.len()];
-    let mut pair = vec![Complex64::ZERO; ng];
+    // Pooled on the blocked backend (contents unspecified — fully
+    // rewritten per pair): the ring inner loop stays allocation-free.
+    let mut pair = fock.backend().take_scratch(ng);
 
     let process_block = |block: &[Complex64],
                          src_rank: usize,
@@ -350,6 +353,7 @@ pub fn dist_fock_apply(
             }
         }
     }
+    fock.backend().recycle_buffer(pair);
     out
 }
 
@@ -371,7 +375,8 @@ pub fn dist_ptim_step(
     let ne = SPIN_FACTOR * state.sigma.trace().re;
     let dv = sys.grid.dv();
     let x_saw = sawtooth_x(&sys.grid);
-    let fock = FockOperator::new(&sys.grid, cfg.hybrid.omega);
+    let backend = default_backend().clone();
+    let fock = FockOperator::with_backend(&sys.grid, cfg.hybrid.omega, backend.clone());
     let t_mid = state.time + 0.5 * dt;
     let mut stats = StepStats::default();
 
@@ -407,7 +412,7 @@ pub fn dist_ptim_step(
 
         // Density and local potentials (replicated after allreduce).
         let rho = dist_density(comm, sys, &nat_local, &occ_local, cfg.use_shm);
-        let hxc = build_hxc(&sys.grid, &sys.fft, &rho);
+        let hxc = build_hxc_with(&*backend, &sys.grid, &sys.fft, &rho);
         let mut vext = vec![0.0; ng];
         external_potential(&x_saw, laser.field(t_mid), &mut vext);
         let vtot: Vec<f64> = sys
@@ -418,30 +423,30 @@ pub fn dist_ptim_step(
             .map(|((a, b), c)| a + b + c)
             .collect();
 
-        // H Φ_mid on local bands: kinetic + local potential...
+        // H Φ_mid on local bands: kinetic + local potential, with the
+        // local-potential product and FFT batched through the backend.
         let mut hphi_local = Wavefunction::zeros_like(phi_mid_local);
-        let psi_r = phi_mid_local.to_real_all(&sys.fft);
+        let psi_r = phi_mid_local.to_real_all_with(&*backend, &sys.fft);
+        let mut work = backend.take_buffer_copy(&psi_r);
+        backend.scale_by_real(&vtot, &mut work);
+        sys.fft.forward_many_with(&*backend, &mut work, phi_mid_local.n_bands);
         for b in 0..phi_mid_local.n_bands {
-            let mut work: Vec<Complex64> = psi_r[b * ng..(b + 1) * ng]
-                .iter()
-                .zip(&vtot)
-                .map(|(z, &v)| z.scale(v))
-                .collect();
-            sys.fft.forward(&mut work);
+            let wband = &work[b * ng..(b + 1) * ng];
             let src = phi_mid_local.band(b);
             let dst = hphi_local.band_mut(b);
-            for ((o, w), (&g2, c)) in dst.iter_mut().zip(&work).zip(sys.grid.g2.iter().zip(src))
+            for ((o, w), (&g2, c)) in dst.iter_mut().zip(wband).zip(sys.grid.g2.iter().zip(src))
             {
                 *o = *w + c.scale(0.5 * g2);
             }
         }
+        backend.recycle_buffer(work);
         // ... plus the distributed Fock exchange.
         if cfg.hybrid.alpha != 0.0 {
-            let nat_r = nat_local.to_real_all(&sys.fft);
+            let nat_r = nat_local.to_real_all_with(&*backend, &sys.fft);
             let vx_r =
                 dist_fock_apply(comm, &fock, dist, &nat_r, &e.values, &psi_r, cfg.strategy);
             stats.fock_applies += 1;
-            let mut vx = Wavefunction::from_real(&sys.grid, &sys.fft, vx_r);
+            let mut vx = Wavefunction::from_real_with(&*backend, &sys.grid, &sys.fft, vx_r);
             vx.mask(&sys.grid);
             for (h, x) in hphi_local.data.iter_mut().zip(&vx.data) {
                 *h += x.scale(cfg.hybrid.alpha);
@@ -480,7 +485,7 @@ pub fn dist_ptim_step(
         stats.scf_iters = it + 1;
         // Midpoint.
         let mut phi_mid = Wavefunction::zeros_like(&state.phi_local);
-        bands::lincomb(
+        backend.lincomb(
             Complex64::from_re(0.5),
             &state.phi_local.data,
             Complex64::from_re(0.5),
@@ -528,7 +533,7 @@ pub fn dist_ptim_step(
             m[(r, i)] = es.vectors[(r, i)].scale(w);
         }
     }
-    let q = pwnum::gemm::gemm(
+    let q = backend.gemm(
         Complex64::ONE,
         &m,
         pwnum::gemm::Op::None,

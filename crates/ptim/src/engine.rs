@@ -3,10 +3,11 @@
 
 use crate::laser::{external_potential, sawtooth_x, LaserPulse};
 use crate::state::TdState;
-use pwdft::density::{density_from_natural, natural_orbitals, NaturalOrbitals};
+use pwdft::density::{density_from_natural_with, natural_orbitals_with, NaturalOrbitals};
 use pwdft::energy::{external_energy, kinetic_energy, EnergyBreakdown};
-use pwdft::hamiltonian::{build_hxc, Exchange, Hamiltonian};
+use pwdft::hamiltonian::{build_hxc_with, Exchange, Hamiltonian};
 use pwdft::{DftSystem, FockOperator, Wavefunction};
+use pwnum::backend::{default_backend, BackendHandle};
 use pwnum::cmat::CMat;
 
 /// Hybrid-functional parameters for the dynamics.
@@ -32,6 +33,9 @@ pub struct TdEngine<'s> {
     pub laser: LaserPulse,
     /// Hybrid parameters.
     pub hybrid: HybridParams,
+    /// Compute backend every hot primitive of the propagators routes
+    /// through (FFT batches, Fock solves, band ops, subspace GEMMs).
+    pub backend: BackendHandle,
     /// Cached sawtooth x-coordinate.
     x_saw: Vec<f64>,
 }
@@ -55,10 +59,21 @@ pub struct EvalPoint {
 }
 
 impl<'s> TdEngine<'s> {
-    /// Creates the engine.
+    /// Creates the engine on the process default backend.
     pub fn new(sys: &'s DftSystem, laser: LaserPulse, hybrid: HybridParams) -> Self {
+        Self::with_backend(sys, laser, hybrid, default_backend().clone())
+    }
+
+    /// Creates the engine on an explicit compute backend (the paper's
+    /// ARM-vs-GPU split: pick per `perfmodel::platform`).
+    pub fn with_backend(
+        sys: &'s DftSystem,
+        laser: LaserPulse,
+        hybrid: HybridParams,
+        backend: BackendHandle,
+    ) -> Self {
         let x_saw = sawtooth_x(&sys.grid);
-        TdEngine { sys, laser, hybrid, x_saw }
+        TdEngine { sys, laser, hybrid, backend, x_saw }
     }
 
     /// The laser potential at time `t`.
@@ -70,10 +85,11 @@ impl<'s> TdEngine<'s> {
 
     /// Evaluates density, potentials and natural orbitals at `(Φ, σ, t)`.
     pub fn eval(&self, phi: &Wavefunction, sigma: &CMat, t: f64) -> EvalPoint {
-        let nat = natural_orbitals(phi, sigma);
-        let rho = density_from_natural(&self.sys.grid, &self.sys.fft, &nat);
-        let hxc = build_hxc(&self.sys.grid, &self.sys.fft, &rho);
-        let nat_r = nat.phi.to_real_all(&self.sys.fft);
+        let be = &*self.backend;
+        let nat = natural_orbitals_with(be, phi, sigma);
+        let rho = density_from_natural_with(be, &self.sys.grid, &self.sys.fft, &nat);
+        let hxc = build_hxc_with(be, &self.sys.grid, &self.sys.fft, &rho);
+        let nat_r = nat.phi.to_real_all_with(be, &self.sys.fft);
         EvalPoint {
             nat,
             nat_r,
@@ -95,11 +111,15 @@ impl<'s> TdEngine<'s> {
             Exchange::None
         };
         let fock = if self.hybrid.alpha != 0.0 {
-            Some(FockOperator::new(&self.sys.grid, self.hybrid.omega))
+            Some(FockOperator::with_backend(
+                &self.sys.grid,
+                self.hybrid.omega,
+                self.backend.clone(),
+            ))
         } else {
             None
         };
-        Hamiltonian::new(
+        Hamiltonian::with_backend(
             &self.sys.grid,
             &self.sys.vloc,
             &ev.vhxc,
@@ -107,13 +127,14 @@ impl<'s> TdEngine<'s> {
             self.hybrid.alpha,
             exchange,
             fock,
+            self.backend.clone(),
         )
     }
 
     /// Builds a Hamiltonian using a *fixed* ACE exchange operator (the
     /// inner-loop Hamiltonian of PT-IM-ACE).
     pub fn hamiltonian_ace(&self, ev: &EvalPoint, ace: pwdft::AceOperator) -> Hamiltonian<'s> {
-        Hamiltonian::new(
+        Hamiltonian::with_backend(
             &self.sys.grid,
             &self.sys.vloc,
             &ev.vhxc,
@@ -121,21 +142,24 @@ impl<'s> TdEngine<'s> {
             self.hybrid.alpha,
             Exchange::Ace(ace),
             None,
+            self.backend.clone(),
         )
     }
 
     /// Full exchange images `W = VxΦ` for the state (used to build ACE).
     /// Returns `(W, E_x)` with `W` masked to the cutoff sphere.
     pub fn exchange_images(&self, phi: &Wavefunction, sigma: &CMat) -> (Wavefunction, f64) {
-        let fock = FockOperator::new(&self.sys.grid, self.hybrid.omega);
-        let nat = natural_orbitals(phi, sigma);
-        let nat_r = nat.phi.to_real_all(&self.sys.fft);
-        let phi_r = phi.to_real_all(&self.sys.fft);
+        let be = &*self.backend;
+        let fock =
+            FockOperator::with_backend(&self.sys.grid, self.hybrid.omega, self.backend.clone());
+        let nat = natural_orbitals_with(be, phi, sigma);
+        let nat_r = nat.phi.to_real_all_with(be, &self.sys.fft);
+        let phi_r = phi.to_real_all_with(be, &self.sys.fft);
         let vx_r = fock.apply_diag(&nat_r, &nat.occ, &phi_r);
         // Exchange energy in the natural basis: Ex = Σ d_i <φ̃_i|Vx|φ̃_i>.
         let vx_nat = fock.apply_diag(&nat_r, &nat.occ, &nat_r);
         let ex = fock.exchange_energy(&nat_r, &nat.occ, &vx_nat, self.sys.grid.dv());
-        let mut w = Wavefunction::from_real(&self.sys.grid, &self.sys.fft, vx_r);
+        let mut w = Wavefunction::from_real_with(be, &self.sys.grid, &self.sys.fft, vx_r);
         w.mask(&self.sys.grid);
         (w, ex)
     }
@@ -156,7 +180,11 @@ impl<'s> TdEngine<'s> {
     pub fn total_energy(&self, state: &TdState) -> EnergyBreakdown {
         let ev = self.eval(&state.phi, &state.sigma, state.time);
         let exact_exchange = if self.hybrid.alpha != 0.0 {
-            let fock = FockOperator::new(&self.sys.grid, self.hybrid.omega);
+            let fock = FockOperator::with_backend(
+                &self.sys.grid,
+                self.hybrid.omega,
+                self.backend.clone(),
+            );
             let vx_nat = fock.apply_diag(&ev.nat_r, &ev.nat.occ, &ev.nat_r);
             self.hybrid.alpha
                 * fock.exchange_energy(&ev.nat_r, &ev.nat.occ, &vx_nat, self.sys.grid.dv())

@@ -12,7 +12,7 @@ pub const AU_TIME_FS: f64 = AU_TIME_AS * 1e-3;
 /// Photon energy (hartree) of a wavelength in nm.
 pub fn photon_energy_ha(lambda_nm: f64) -> f64 {
     // E[eV] = 1239.841984 / λ[nm]; 1 Ha = 27.211386245988 eV.
-    1239.841_984 / lambda_nm / 27.211_386_245_988
+    1_239.841_984 / lambda_nm / 27.211_386_245_988
 }
 
 /// A linearly-polarized Gaussian-envelope laser pulse along x.

@@ -4,7 +4,7 @@
 use crate::state::TdState;
 use pwdft::hamiltonian::Hamiltonian;
 use pwdft::Wavefunction;
-use pwnum::bands;
+use pwnum::backend::{default_backend, Backend};
 use pwnum::chol::solve_hpd;
 use pwnum::cmat::CMat;
 use pwnum::complex::{c64, Complex64};
@@ -26,10 +26,16 @@ pub struct StepStats {
     pub residual: f64,
 }
 
-/// The midpoint `(Φ, σ)` of two states (Eq. 4).
+/// The midpoint `(Φ, σ)` of two states (Eq. 4), on the process default
+/// backend.
 pub fn midpoint(a: &TdState, b: &TdState) -> (Wavefunction, CMat) {
+    midpoint_with(&**default_backend(), a, b)
+}
+
+/// [`midpoint`] on an explicit compute backend.
+pub fn midpoint_with(backend: &dyn Backend, a: &TdState, b: &TdState) -> (Wavefunction, CMat) {
     let mut phi = Wavefunction::zeros_like(&a.phi);
-    bands::lincomb(
+    backend.lincomb(
         Complex64::from_re(0.5),
         &a.phi.data,
         Complex64::from_re(0.5),
@@ -57,19 +63,20 @@ pub fn pt_update(
     dt: f64,
 ) -> (Wavefunction, CMat) {
     let ng = phi_mid.ng;
+    let be = &*h.backend;
     let hphi = h.apply(phi_mid);
-    let s = phi_mid.overlap(phi_mid);
-    let hm = phi_mid.overlap(&hphi).hermitian_part();
+    let s = phi_mid.overlap_with(be, phi_mid);
+    let hm = phi_mid.overlap_with(be, &hphi).hermitian_part();
 
     // (I − P̃) H Φ_mid with P̃ = Φ_mid S⁻¹ Φ_mid^H:
     // correction coefficients C = S⁻¹ (Φ_mid^H H Φ_mid).
     let c = solve_hpd(&s, &hm).expect("midpoint overlap must stay positive definite");
     let mut update = hphi.data;
-    bands::rotate_acc(Complex64::from_re(-1.0), &phi_mid.data, &c, ng, &mut update);
+    be.rotate_acc(Complex64::from_re(-1.0), &phi_mid.data, &c, ng, &mut update);
 
     // Φ_{n+1} = Φ_n − iΔt · update.
     let mut phi_next = Wavefunction::zeros_like(&prev.phi);
-    bands::lincomb(
+    be.lincomb(
         Complex64::ONE,
         &prev.phi.data,
         c64(0.0, -dt),
@@ -147,7 +154,7 @@ mod tests {
         let (phi_next, _) = pt_update(&st, &h, &st.phi, &st.sigma, 0.05);
         // Components of (Φ_{n+1} − Φ_n) inside span(Φ_n) must vanish.
         let mut diff = Wavefunction::zeros_like(&st.phi);
-        bands::lincomb(
+        default_backend().lincomb(
             Complex64::ONE,
             &phi_next.data,
             Complex64::from_re(-1.0),

@@ -21,7 +21,6 @@ use crate::propagate::{density_residual, StepStats};
 use crate::state::TdState;
 use pwdft::mixing::AndersonMixer;
 use pwdft::Wavefunction;
-use pwnum::bands;
 use pwnum::chol::solve_hpd;
 use pwnum::complex::{c64, Complex64};
 
@@ -56,12 +55,13 @@ impl Default for PtcnConfig {
 /// residual force on the orbital block.
 fn pt_force(h: &pwdft::Hamiltonian, phi: &Wavefunction) -> Vec<Complex64> {
     let ng = phi.ng;
+    let be = &*h.backend;
     let hphi = h.apply(phi);
-    let s = phi.overlap(phi);
-    let hm = phi.overlap(&hphi).hermitian_part();
+    let s = phi.overlap_with(be, phi);
+    let hm = phi.overlap_with(be, &hphi).hermitian_part();
     let c = solve_hpd(&s, &hm).expect("overlap must remain positive definite");
     let mut force = hphi.data;
-    bands::rotate_acc(Complex64::from_re(-1.0), &phi.data, &c, ng, &mut force);
+    be.rotate_acc(Complex64::from_re(-1.0), &phi.data, &c, ng, &mut force);
     force
 }
 
@@ -81,7 +81,7 @@ pub fn ptcn_step(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState,
     }
     let force_n = pt_force(&h_n, &state.phi);
     let mut rhs = Wavefunction::zeros_like(&state.phi);
-    bands::lincomb(
+    eng.backend.lincomb(
         Complex64::ONE,
         &state.phi.data,
         c64(0.0, -0.5 * dt),
@@ -111,7 +111,7 @@ pub fn ptcn_step(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState,
         let force = pt_force(&h, &next.phi);
         // T(Φ) = rhs − (iΔt/2)(I−P)HΦ.
         let mut image = Wavefunction::zeros_like(&next.phi);
-        bands::lincomb(
+        eng.backend.lincomb(
             Complex64::ONE,
             &rhs.data,
             c64(0.0, -0.5 * dt),

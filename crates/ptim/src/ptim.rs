@@ -7,7 +7,7 @@
 //! before the ACE optimization.
 
 use crate::engine::TdEngine;
-use crate::propagate::{density_residual, midpoint, pt_update, StepStats};
+use crate::propagate::{density_residual, midpoint_with, pt_update, StepStats};
 use crate::state::TdState;
 use pwdft::mixing::AndersonMixer;
 
@@ -62,7 +62,7 @@ pub fn ptim_step(eng: &TdEngine, state: &TdState, cfg: &PtimConfig) -> (TdState,
     for it in 0..cfg.max_scf {
         stats.scf_iters = it + 1;
         // Midpoint quantities (Eq. 4-5).
-        let (phi_mid, sigma_mid) = midpoint(state, &next);
+        let (phi_mid, sigma_mid) = midpoint_with(&*eng.backend, state, &next);
         let ev_mid = eng.eval(&phi_mid, &sigma_mid, t_mid);
 
         // Convergence: change of the midpoint density between iterations

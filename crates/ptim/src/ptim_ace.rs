@@ -8,7 +8,7 @@
 //! ~5 per step (5 outer × ~13 inner on the 384-atom system).
 
 use crate::engine::TdEngine;
-use crate::propagate::{density_residual, midpoint, pt_update, StepStats};
+use crate::propagate::{density_residual, midpoint_with, pt_update, StepStats};
 use crate::state::TdState;
 use pwdft::mixing::AndersonMixer;
 use pwdft::AceOperator;
@@ -63,7 +63,7 @@ pub fn ptim_ace_step(
     // ACE at t_n (one Fock build), used for the predictor step.
     let (w_n, _ex_n) = eng.exchange_images(&state.phi, &state.sigma);
     stats.fock_applies += 1;
-    let ace_n = AceOperator::build(&state.phi, &w_n);
+    let ace_n = AceOperator::build_with(eng.backend.clone(), &state.phi, &w_n);
     let ev_n = eng.eval(&state.phi, &state.sigma, state.time);
     let h_n = eng.hamiltonian_ace(&ev_n, ace_n);
     let (phi_p, sigma_p) = pt_update(state, &h_n, &state.phi, &state.sigma, dt);
@@ -75,10 +75,10 @@ pub fn ptim_ace_step(
         stats.outer_iters = outer + 1;
         // Rebuild the midpoint ACE operator from the current iterate
         // (one Fock build per outer iteration).
-        let (phi_mid0, sigma_mid0) = midpoint(state, &next);
+        let (phi_mid0, sigma_mid0) = midpoint_with(&*eng.backend, state, &next);
         let (w_mid, ex_mid) = eng.exchange_images(&phi_mid0, &sigma_mid0);
         stats.fock_applies += 1;
-        let ace_mid = AceOperator::build(&phi_mid0, &w_mid);
+        let ace_mid = AceOperator::build_with(eng.backend.clone(), &phi_mid0, &w_mid);
 
         // Outer convergence on the exchange energy (Fig. 4b decision).
         if (ex_mid - ex_prev).abs() < cfg.tol_ex {
@@ -92,7 +92,7 @@ pub fn ptim_ace_step(
         let mut rho_prev: Option<Vec<f64>> = None;
         for inner in 0..cfg.max_inner {
             stats.scf_iters += 1;
-            let (phi_mid, sigma_mid) = midpoint(state, &next);
+            let (phi_mid, sigma_mid) = midpoint_with(&*eng.backend, state, &next);
             let ev_mid = eng.eval(&phi_mid, &sigma_mid, t_mid);
             if let Some(prev) = &rho_prev {
                 stats.residual = density_residual(&ev_mid.rho, prev, dv, ne);

@@ -10,7 +10,6 @@ use crate::engine::TdEngine;
 use crate::propagate::StepStats;
 use crate::state::TdState;
 use pwdft::Wavefunction;
-use pwnum::bands;
 use pwnum::complex::{c64, Complex64};
 
 /// RK4 step size configuration.
@@ -26,14 +25,14 @@ fn derivative(eng: &TdEngine, phi: &Wavefunction, state: &TdState, t: f64) -> Wa
     let h = eng.hamiltonian_dense(&ev);
     let mut hphi = h.apply(phi);
     for z in hphi.data.iter_mut() {
-        *z = *z * c64(0.0, -1.0);
+        *z *= c64(0.0, -1.0);
     }
     hphi
 }
 
-fn axpy_block(alpha: f64, x: &Wavefunction, y: &Wavefunction) -> Wavefunction {
+fn axpy_block(eng: &TdEngine, alpha: f64, x: &Wavefunction, y: &Wavefunction) -> Wavefunction {
     let mut out = Wavefunction::zeros_like(y);
-    bands::lincomb(
+    eng.backend.lincomb(
         Complex64::from_re(alpha),
         &x.data,
         Complex64::ONE,
@@ -50,11 +49,11 @@ pub fn rk4_step(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, S
     let t = state.time;
 
     let k1 = derivative(eng, &state.phi, state, t);
-    let phi2 = axpy_block(0.5 * dt, &k1, &state.phi);
+    let phi2 = axpy_block(eng, 0.5 * dt, &k1, &state.phi);
     let k2 = derivative(eng, &phi2, state, t + 0.5 * dt);
-    let phi3 = axpy_block(0.5 * dt, &k2, &state.phi);
+    let phi3 = axpy_block(eng, 0.5 * dt, &k2, &state.phi);
     let k3 = derivative(eng, &phi3, state, t + 0.5 * dt);
-    let phi4 = axpy_block(dt, &k3, &state.phi);
+    let phi4 = axpy_block(eng, dt, &k3, &state.phi);
     let k4 = derivative(eng, &phi4, state, t + dt);
 
     let mut phi_next = state.phi.clone();

@@ -16,29 +16,44 @@
 //! cutting Fock evaluations per step from ~25 to ~5 (Fig. 4b).
 
 use crate::wavefunction::Wavefunction;
-use pwnum::bands;
+use pwnum::backend::{default_backend, BackendHandle};
 use pwnum::chol::{cholesky, invert_lower};
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
 
 /// The compressed exchange operator `V_ACE = -ξ ξ^H`.
+///
+/// Carries the compute backend it was built on; both GEMMs of every
+/// application route through it.
 #[derive(Clone, Debug)]
 pub struct AceOperator {
     /// Projection vectors ξ (band-major, same space as the wavefunctions
     /// used to build the operator — here G-space).
     pub xi: Wavefunction,
+    /// Compute backend for the overlap/rotation pair of each apply.
+    backend: BackendHandle,
 }
 
 impl AceOperator {
     /// Builds the operator from the orbital block `phi` and the
-    /// *precomputed* exchange images `w = Vx Φ` (both G-space).
+    /// *precomputed* exchange images `w = Vx Φ` (both G-space), on the
+    /// process default backend.
     ///
     /// A small diagonal shift is added before the Cholesky factorization
     /// to tolerate exactly-zero exchange on empty bands.
     pub fn build(phi: &Wavefunction, w: &Wavefunction) -> AceOperator {
+        Self::build_with(default_backend().clone(), phi, w)
+    }
+
+    /// [`Self::build`] on an explicit compute backend.
+    pub fn build_with(
+        backend: BackendHandle,
+        phi: &Wavefunction,
+        w: &Wavefunction,
+    ) -> AceOperator {
         assert_eq!(phi.n_bands, w.n_bands);
         assert_eq!(phi.ng, w.ng);
-        let m = phi.overlap(w); // M = Φ^H W
+        let m = phi.overlap_with(&*backend, w); // M = Φ^H W
         // -M should be HPD (up to noise); regularize relative to its scale.
         let n = m.rows();
         let mut neg_m = m.scaled(Complex64::from_re(-1.0)).hermitian_part();
@@ -49,8 +64,8 @@ impl AceOperator {
         let l = cholesky(&neg_m).expect("ACE: -Φ^H VxΦ not positive definite");
         // ξ = W L^{-H}: Q = (L^{-1})^H.
         let q = invert_lower(&l).herm();
-        let xi = w.rotated(&q);
-        AceOperator { xi }
+        let xi = w.rotated_with(&*backend, &q);
+        AceOperator { xi, backend }
     }
 
     /// Applies `scale · V_ACE` to a block `psi` (G-space), *adding* the
@@ -61,15 +76,21 @@ impl AceOperator {
         assert_eq!(psi.ng, self.xi.ng);
         assert_eq!(out.len(), psi.data.len());
         // C[k][j] = <ξ_k | ψ_j>
-        let c = self.xi.overlap(psi);
-        bands::rotate_acc(Complex64::from_re(-scale), &self.xi.data, &c, self.xi.ng, out);
+        let c = self.xi.overlap_with(&*self.backend, psi);
+        self.backend.rotate_acc(
+            Complex64::from_re(-scale),
+            &self.xi.data,
+            &c,
+            self.xi.ng,
+            out,
+        );
     }
 
     /// Exchange energy on a state: `Ex = Σ_j d_j <ψ_j|V_ACE|ψ_j>`
     /// = `-Σ_j d_j Σ_k |<ξ_k|ψ_j>|²`.
     pub fn exchange_energy(&self, psi: &Wavefunction, occ: &[f64]) -> f64 {
         assert_eq!(occ.len(), psi.n_bands);
-        let c = self.xi.overlap(psi);
+        let c = self.xi.overlap_with(&*self.backend, psi);
         let mut e = 0.0;
         for j in 0..psi.n_bands {
             if occ[j].abs() < 1e-15 {
@@ -86,9 +107,9 @@ impl AceOperator {
 
     /// Matrix elements `A[i][j] = <ψ_i|V_ACE|ψ_j>` (for σ dynamics).
     pub fn matrix_elements(&self, psi: &Wavefunction) -> CMat {
-        let c = self.xi.overlap(psi); // k×j
+        let c = self.xi.overlap_with(&*self.backend, psi); // k×j
         // A = -C^H C.
-        pwnum::gemm::gemm(
+        self.backend.gemm(
             Complex64::from_re(-1.0),
             &c,
             pwnum::gemm::Op::ConjTrans,

@@ -54,13 +54,9 @@ pub fn davidson(
 
         // Residuals r_i = Hφ_i - ε_i φ_i.
         let mut resid = hphi.clone();
-        for i in 0..n {
+        for (i, &ei) in eigs.iter().enumerate() {
             let band_phi = phi.band(i).to_vec();
-            pwnum::cvec::axpy(
-                Complex64::from_re(-eigs[i]),
-                &band_phi,
-                resid.band_mut(i),
-            );
+            pwnum::cvec::axpy(Complex64::from_re(-ei), &band_phi, resid.band_mut(i));
         }
         res_max = (0..n)
             .map(|i| (pwnum::cvec::norm_sqr(resid.band(i)) * phi.ip_scale).sqrt())
@@ -71,8 +67,7 @@ pub fn davidson(
 
         // Precondition: t_i(G) = -r_i(G) / max(|G|²/2 - ε_i, floor).
         let mut t = resid;
-        for i in 0..n {
-            let ei = eigs[i];
+        for (i, &ei) in eigs.iter().enumerate() {
             let band = t.band_mut(i);
             for (g, z) in band.iter_mut().enumerate() {
                 let denom = (0.5 * grid.g2[g] - ei).max(0.25);

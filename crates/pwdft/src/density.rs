@@ -14,6 +14,7 @@
 use crate::gvec::PwGrid;
 use crate::wavefunction::Wavefunction;
 use pwfft::Fft3;
+use pwnum::backend::{default_backend, Backend};
 use pwnum::bands;
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
@@ -29,10 +30,21 @@ pub fn density_mixed_baseline(
     phi: &Wavefunction,
     sigma: &CMat,
 ) -> Vec<f64> {
+    density_mixed_baseline_with(&**default_backend(), grid, fft, phi, sigma)
+}
+
+/// [`density_mixed_baseline`] on an explicit compute backend.
+pub fn density_mixed_baseline_with(
+    backend: &dyn Backend,
+    grid: &PwGrid,
+    fft: &Fft3,
+    phi: &Wavefunction,
+    sigma: &CMat,
+) -> Vec<f64> {
     let n = phi.n_bands;
     assert_eq!(sigma.rows(), n);
     assert_eq!(sigma.cols(), n);
-    let real = phi.to_real_all(fft);
+    let real = phi.to_real_all_with(backend, fft);
     let ng = grid.len();
     let mut rho = vec![0.0f64; ng];
     // Diagonal terms + twice the real part of the upper triangle
@@ -76,8 +88,18 @@ pub struct NaturalOrbitals {
 
 /// Diagonalizes σ and rotates the orbitals (paper Eq. 11–12).
 pub fn natural_orbitals(phi: &Wavefunction, sigma: &CMat) -> NaturalOrbitals {
+    natural_orbitals_with(&**default_backend(), phi, sigma)
+}
+
+/// [`natural_orbitals`] on an explicit compute backend (the rotation
+/// `Φ Q` is the band-op hot path of the σ-diagonalization).
+pub fn natural_orbitals_with(
+    backend: &dyn Backend,
+    phi: &Wavefunction,
+    sigma: &CMat,
+) -> NaturalOrbitals {
     let e = eigh(sigma);
-    let rotated = phi.rotated(&e.vectors);
+    let rotated = phi.rotated_with(backend, &e.vectors);
     NaturalOrbitals { phi: rotated, occ: e.values, q: e.vectors }
 }
 
@@ -90,11 +112,32 @@ pub fn density_from_natural(
     density_diag(grid, fft, &nat.phi, &nat.occ)
 }
 
+/// [`density_from_natural`] on an explicit compute backend.
+pub fn density_from_natural_with(
+    backend: &dyn Backend,
+    grid: &PwGrid,
+    fft: &Fft3,
+    nat: &NaturalOrbitals,
+) -> Vec<f64> {
+    density_diag_with(backend, grid, fft, &nat.phi, &nat.occ)
+}
+
 /// Density from orbitals with *diagonal* occupations (also used for the
 /// pure-state / ground-state case where σ is already diagonal).
 pub fn density_diag(grid: &PwGrid, fft: &Fft3, phi: &Wavefunction, occ: &[f64]) -> Vec<f64> {
+    density_diag_with(&**default_backend(), grid, fft, phi, occ)
+}
+
+/// [`density_diag`] on an explicit compute backend.
+pub fn density_diag_with(
+    backend: &dyn Backend,
+    grid: &PwGrid,
+    fft: &Fft3,
+    phi: &Wavefunction,
+    occ: &[f64],
+) -> Vec<f64> {
     assert_eq!(occ.len(), phi.n_bands);
-    let real = phi.to_real_all(fft);
+    let real = phi.to_real_all_with(backend, fft);
     let ng = grid.len();
     let mut rho = vec![0.0f64; ng];
     for (i, &d) in occ.iter().enumerate() {

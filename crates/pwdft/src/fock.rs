@@ -17,11 +17,11 @@
 
 use crate::gvec::PwGrid;
 use pwfft::Fft3;
+use pwnum::backend::{default_backend, BackendHandle};
 use pwnum::bands;
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
 use pwnum::cvec;
-use pwnum::parallel::par_chunks_mut;
 
 /// HSE06 screening parameter (bohr⁻¹).
 pub const HSE_OMEGA: f64 = 0.106;
@@ -55,16 +55,32 @@ impl ScreenedKernel {
 }
 
 /// The Fock exchange operator bound to a grid + kernel.
+///
+/// Every FFT, elementwise product and band operation inside goes through
+/// the operator's compute [`Backend`](pwnum::backend::Backend) — swap the
+/// handle to retarget the paper's dominant cost to another device model.
 pub struct FockOperator<'g> {
     grid: &'g PwGrid,
     fft: Fft3,
     kernel: ScreenedKernel,
+    backend: BackendHandle,
 }
 
 impl<'g> FockOperator<'g> {
-    /// Creates the operator with an HSE-type kernel of parameter `omega`.
+    /// Creates the operator with an HSE-type kernel of parameter `omega`
+    /// on the process default backend.
     pub fn new(grid: &'g PwGrid, omega: f64) -> Self {
-        FockOperator { grid, fft: grid.fft(), kernel: ScreenedKernel::hse(grid, omega) }
+        Self::with_backend(grid, omega, default_backend().clone())
+    }
+
+    /// Creates the operator on an explicit compute backend.
+    pub fn with_backend(grid: &'g PwGrid, omega: f64, backend: BackendHandle) -> Self {
+        FockOperator {
+            grid,
+            fft: grid.fft(),
+            kernel: ScreenedKernel::hse(grid, omega),
+            backend,
+        }
     }
 
     /// Grid size.
@@ -73,18 +89,20 @@ impl<'g> FockOperator<'g> {
         self.grid.len()
     }
 
-    /// Solves the screened Poisson problem for a pair density in place:
-    /// `W(r) = Σ_G K(G) f_G e^{iGr}` (forward FFT → multiply → inverse).
-    fn poisson(&self, pair: &mut [Complex64], scratch: &mut [Complex64]) {
-        // forward_with/inverse_with would need per-axis scratch; Fft3 keeps
-        // its own thread-local scratch, so plain calls are allocation-free
-        // after warm-up.
-        let _ = scratch;
-        self.fft.forward(pair);
-        for (p, k) in pair.iter_mut().zip(&self.kernel.kg) {
-            *p = p.scale(*k);
-        }
-        self.fft.inverse(pair);
+    /// The operator's compute backend.
+    #[inline]
+    pub fn backend(&self) -> &BackendHandle {
+        &self.backend
+    }
+
+    /// Solves the screened Poisson problem for a *batch* of pair
+    /// densities in place: `W(r) = Σ_G K(G) f_G e^{iGr}` per grid
+    /// (batched forward FFT → fused kernel multiply → batched inverse).
+    fn poisson_batch(&self, pairs: &mut [Complex64], count: usize) {
+        let be = &*self.backend;
+        self.fft.forward_many_with(be, pairs, count);
+        be.scale_by_real(&self.kernel.kg, pairs);
+        self.fft.inverse_many_with(be, pairs, count);
     }
 
     /// Paper Alg. 2 — the mixed-state baseline. `phi_r` are the N orbitals
@@ -96,9 +114,11 @@ impl<'g> FockOperator<'g> {
         let ng = self.ng();
         let n = bands::n_bands(phi_r, ng);
         assert_eq!(sigma.rows(), n);
+        let be = &*self.backend;
         let mut out = vec![Complex64::ZERO; n * ng];
-        let mut pair = vec![Complex64::ZERO; ng];
-        let mut scratch = vec![Complex64::ZERO; ng];
+        // Scratch contents are unspecified: hadamard_conj overwrites the
+        // whole pair grid before any read.
+        let mut pair = be.take_scratch(ng);
         for k in 0..n {
             let pk = bands::band(phi_r, ng, k);
             for i in 0..n {
@@ -109,22 +129,25 @@ impl<'g> FockOperator<'g> {
                 let pi = bands::band(phi_r, ng, i);
                 for j in 0..n {
                     let pj = bands::band(phi_r, ng, j);
-                    cvec::hadamard_conj(pk, pj, &mut pair);
-                    self.poisson(&mut pair, &mut scratch);
+                    be.hadamard_conj(pk, pj, &mut pair);
+                    self.poisson_batch(&mut pair, 1);
                     let oj = bands::band_mut(&mut out, ng, j);
                     // Vx φ_j -= σ_ik · W_kj ⊙ φ_i   (Eq. 10 sign).
-                    cvec::hadamard_acc(-sik, &pair, pi, oj);
+                    be.hadamard_acc(-sik, &pair, pi, oj);
                 }
             }
         }
+        be.recycle_buffer(pair);
         out
     }
 
     /// Diagonalized mixed-state operator (Eq. 13): orbitals `phi_r` must
     /// already be the *natural orbitals* `φ̃ = ΦQ` in real space, with
     /// occupations `d`. Applies Vx to the bands `psi_r` (often the same
-    /// block, but PT-IM also applies it to trial vectors) in parallel
-    /// over target bands. O(N²) FFT pairs.
+    /// block, but PT-IM also applies it to trial vectors). O(N²) FFT
+    /// pairs, executed as one batched Poisson solve over all occupied
+    /// source bands per target band — the paper's multi-batch strategy
+    /// (Sec. III-B b) — with pooled, allocation-free pair buffers.
     pub fn apply_diag(
         &self,
         phi_r: &[Complex64],
@@ -136,20 +159,34 @@ impl<'g> FockOperator<'g> {
         assert_eq!(d.len(), n_src);
         let n_tgt = bands::n_bands(psi_r, ng);
         let mut out = vec![Complex64::ZERO; n_tgt * ng];
-        par_chunks_mut(&mut out, ng, |j, oj| {
+        // Occupied source bands only: empty bands contribute nothing.
+        let occ: Vec<usize> = (0..n_src).filter(|&i| d[i].abs() >= 1e-14).collect();
+        if occ.is_empty() {
+            return out;
+        }
+        let be = &*self.backend;
+        // Scratch contents are unspecified: every pair grid is fully
+        // written by hadamard_conj before the Poisson solve reads it.
+        let mut pairs = be.take_scratch(occ.len() * ng);
+        for j in 0..n_tgt {
             let pj = bands::band(psi_r, ng, j);
-            let mut pair = vec![Complex64::ZERO; ng];
-            let mut scratch = vec![Complex64::ZERO; ng];
-            for (i, &di) in d.iter().enumerate() {
-                if di.abs() < 1e-14 {
-                    continue;
-                }
+            for (s, &i) in occ.iter().enumerate() {
                 let pi = bands::band(phi_r, ng, i);
-                cvec::hadamard_conj(pi, pj, &mut pair);
-                self.poisson(&mut pair, &mut scratch);
-                cvec::hadamard_acc(Complex64::from_re(-di), &pair, pi, oj);
+                be.hadamard_conj(pi, pj, bands::band_mut(&mut pairs, ng, s));
             }
-        });
+            self.poisson_batch(&mut pairs, occ.len());
+            let oj = bands::band_mut(&mut out, ng, j);
+            for (s, &i) in occ.iter().enumerate() {
+                let pi = bands::band(phi_r, ng, i);
+                be.hadamard_acc(
+                    Complex64::from_re(-d[i]),
+                    bands::band(&pairs, ng, s),
+                    pi,
+                    oj,
+                );
+            }
+        }
+        be.recycle_buffer(pairs);
         out
     }
 
@@ -172,10 +209,10 @@ impl<'g> FockOperator<'g> {
         out: &mut [Complex64],
         pair: &mut [Complex64],
     ) {
-        cvec::hadamard_conj(src, tgt, pair);
-        let mut dummy = [];
-        self.poisson(pair, &mut dummy);
-        cvec::hadamard_acc(Complex64::from_re(-weight), pair, src, out);
+        let be = &*self.backend;
+        be.hadamard_conj(src, tgt, pair);
+        self.poisson_batch(pair, 1);
+        be.hadamard_acc(Complex64::from_re(-weight), pair, src, out);
     }
 
     /// Exchange energy `E_x = Σ_i d_i <φ̃_i|Vx|φ̃_i>` (real, ≤ 0), given

@@ -36,7 +36,7 @@ pub fn smooth_size(min: usize) -> usize {
     loop {
         let mut m = n;
         for p in [2, 3, 5] {
-            while m % p == 0 {
+            while m.is_multiple_of(p) {
                 m /= p;
             }
         }

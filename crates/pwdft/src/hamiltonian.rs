@@ -11,8 +11,10 @@ use crate::gvec::PwGrid;
 use crate::wavefunction::Wavefunction;
 use crate::xc;
 use pwfft::Fft3;
+use pwnum::backend::{default_backend, Backend, BackendHandle};
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
+use pwnum::cvec;
 use pwnum::parallel::par_chunks_mut;
 
 /// How the exchange term enters `HΦ`.
@@ -34,19 +36,32 @@ pub enum Exchange {
 /// Hartree potential and energy from the density:
 /// `V_H(G) = 4π ρ_G / G²` (G ≠ 0), `E_H = ½ ∫ V_H ρ dV`.
 pub fn hartree_potential(grid: &PwGrid, fft: &Fft3, rho: &[f64]) -> (Vec<f64>, f64) {
+    hartree_potential_with(&**default_backend(), grid, fft, rho)
+}
+
+/// [`hartree_potential`] on an explicit compute backend.
+pub fn hartree_potential_with(
+    backend: &dyn Backend,
+    grid: &PwGrid,
+    fft: &Fft3,
+    rho: &[f64],
+) -> (Vec<f64>, f64) {
     let ng = grid.len();
     assert_eq!(rho.len(), ng);
     let mut work: Vec<Complex64> = rho.iter().map(|&r| Complex64::from_re(r)).collect();
-    fft.forward(&mut work);
+    fft.forward_many_with(backend, &mut work, 1);
+    // 4π/G² with the jellium convention at G = 0. Applied inline: the
+    // kernel is a pure function of the grid, and materializing it per
+    // call would cost an ng-sized allocation every SCF iteration.
     let four_pi = 4.0 * std::f64::consts::PI;
     for (w, &g2) in work.iter_mut().zip(&grid.g2) {
         if g2 < 1e-12 {
-            *w = Complex64::ZERO; // jellium convention
+            *w = Complex64::ZERO;
         } else {
             *w = w.scale(four_pi / g2);
         }
     }
-    fft.inverse(&mut work);
+    fft.inverse_many_with(backend, &mut work, 1);
     let vh: Vec<f64> = work.iter().map(|z| z.re).collect();
     let eh = 0.5 * vh.iter().zip(rho).map(|(v, r)| v * r).sum::<f64>() * grid.dv();
     (vh, eh)
@@ -67,6 +82,8 @@ pub struct Hamiltonian<'g> {
     /// Dense Fock machinery (kernel + plans), needed for `Exchange::Dense`
     /// and for building ACE operators.
     pub fock: Option<FockOperator<'g>>,
+    /// Compute backend every FFT/band primitive of `apply` routes through.
+    pub backend: BackendHandle,
 }
 
 impl<'g> Hamiltonian<'g> {
@@ -82,12 +99,42 @@ impl<'g> Hamiltonian<'g> {
         exchange: Exchange,
         fock: Option<FockOperator<'g>>,
     ) -> Self {
+        // Inherit the Fock operator's backend when present so the dense
+        // exchange and the local parts run on the same device model.
+        let backend = fock
+            .as_ref()
+            .map(|f| f.backend().clone())
+            .unwrap_or_else(|| default_backend().clone());
+        Self::with_backend(grid, vloc, vhxc, vext, alpha, exchange, fock, backend)
+    }
+
+    /// [`Self::new`] with an explicit compute backend. When a
+    /// [`FockOperator`] is supplied it must share the same backend so
+    /// one `apply` never splits across two device models.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_backend(
+        grid: &'g PwGrid,
+        vloc: &[f64],
+        vhxc: &[f64],
+        vext: &[f64],
+        alpha: f64,
+        exchange: Exchange,
+        fock: Option<FockOperator<'g>>,
+        backend: BackendHandle,
+    ) -> Self {
         assert_eq!(vloc.len(), grid.len());
         assert_eq!(vhxc.len(), grid.len());
         assert_eq!(vext.len(), grid.len());
+        if let Some(f) = &fock {
+            assert_eq!(
+                f.backend().name(),
+                backend.name(),
+                "Hamiltonian and its FockOperator must share one backend kind"
+            );
+        }
         let vtot: Vec<f64> =
             vloc.iter().zip(vhxc).zip(vext).map(|((a, b), c)| a + b + c).collect();
-        Hamiltonian { grid, fft: grid.fft(), vtot, alpha, exchange, fock }
+        Hamiltonian { grid, fft: grid.fft(), vtot, alpha, exchange, fock, backend }
     }
 
     /// Computes `H ψ` for a block of orbitals (G-space in, G-space out,
@@ -95,10 +142,11 @@ impl<'g> Hamiltonian<'g> {
     pub fn apply(&self, psi: &Wavefunction) -> Wavefunction {
         let ng = self.grid.len();
         assert_eq!(psi.ng, ng);
+        let be = &*self.backend;
         let mut out = Wavefunction::zeros_like(psi);
 
-        // Real-space copies of the input bands.
-        let psi_r = psi.to_real_all(&self.fft);
+        // Real-space copies of the input bands (batched inverse FFT).
+        let psi_r = psi.to_real_all_with(be, &self.fft);
 
         // Dense exchange acts on the real-space block as a whole.
         let vx_r: Option<Vec<Complex64>> = match &self.exchange {
@@ -112,30 +160,29 @@ impl<'g> Hamiltonian<'g> {
             _ => None,
         };
 
-        // Per-band: (V_tot ψ + α Vxψ) in real space -> G-space, + kinetic.
+        // Potential part in real space, band-parallel: V_tot ψ (+ α·Vx).
+        let mut work = be.take_buffer_copy(&psi_r);
+        par_chunks_mut(&mut work, ng, |b, wband| {
+            for (w, &v) in wband.iter_mut().zip(&self.vtot) {
+                *w = w.scale(v);
+            }
+            if let Some(vx) = &vx_r {
+                cvec::axpy(Complex64::from_re(self.alpha), &vx[b * ng..(b + 1) * ng], wband);
+            }
+        });
+        // Back to G-space as one batched forward FFT.
+        self.fft.forward_many_with(be, &mut work, psi.n_bands);
+        // Kinetic + potential in G space, band-parallel.
         par_chunks_mut(&mut out.data, ng, |b, ob| {
             let band_in = &psi.data[b * ng..(b + 1) * ng];
-            let band_r = &psi_r[b * ng..(b + 1) * ng];
-            // Potential part in real space.
-            let mut work: Vec<Complex64> = band_r
-                .iter()
-                .zip(&self.vtot)
-                .map(|(z, &v)| z.scale(v))
-                .collect();
-            if let Some(vx) = &vx_r {
-                let vxb = &vx[b * ng..(b + 1) * ng];
-                for (w, x) in work.iter_mut().zip(vxb) {
-                    *w += x.scale(self.alpha);
-                }
-            }
-            self.fft.forward(&mut work);
-            // Kinetic + potential in G space.
+            let wband = &work[b * ng..(b + 1) * ng];
             for ((o, w), (&g2, c)) in
-                ob.iter_mut().zip(&work).zip(self.grid.g2.iter().zip(band_in))
+                ob.iter_mut().zip(wband).zip(self.grid.g2.iter().zip(band_in))
             {
                 *o = *w + c.scale(0.5 * g2);
             }
         });
+        be.recycle_buffer(work);
 
         // ACE exchange acts in G-space on the whole block.
         if let Exchange::Ace(ace) = &self.exchange {
@@ -150,7 +197,7 @@ impl<'g> Hamiltonian<'g> {
     /// dynamics, Eq. 6).
     pub fn matrix_elements(&self, psi: &Wavefunction) -> CMat {
         let hpsi = self.apply(psi);
-        psi.overlap(&hpsi).hermitian_part()
+        psi.overlap_with(&*self.backend, &hpsi).hermitian_part()
     }
 }
 
@@ -178,7 +225,17 @@ pub struct HxcResult {
 
 /// Builds `V_H + V_xc` and the corresponding energies from a density.
 pub fn build_hxc(grid: &PwGrid, fft: &Fft3, rho: &[f64]) -> HxcResult {
-    let (vh, e_hartree) = hartree_potential(grid, fft, rho);
+    build_hxc_with(&**default_backend(), grid, fft, rho)
+}
+
+/// [`build_hxc`] on an explicit compute backend.
+pub fn build_hxc_with(
+    backend: &dyn Backend,
+    grid: &PwGrid,
+    fft: &Fft3,
+    rho: &[f64],
+) -> HxcResult {
+    let (vh, e_hartree) = hartree_potential_with(backend, grid, fft, rho);
     let mut vxc = vec![0.0; grid.len()];
     let e_xc = xc::xc_energy_potential(rho, grid.dv(), &mut vxc);
     let vhxc: Vec<f64> = vh.iter().zip(&vxc).map(|(a, b)| a + b).collect();

@@ -9,6 +9,7 @@
 
 use crate::gvec::PwGrid;
 use pwfft::Fft3;
+use pwnum::backend::{default_backend, Backend};
 use pwnum::bands;
 use pwnum::chol::{cholesky, invert_lower};
 use pwnum::cmat::CMat;
@@ -76,10 +77,16 @@ impl Wavefunction {
         bands::band_mut(&mut self.data, self.ng, i)
     }
 
-    /// Overlap matrix `S[i][j] = <self_i | other_j>`.
+    /// Overlap matrix `S[i][j] = <self_i | other_j>`, computed on the
+    /// process default backend.
     pub fn overlap(&self, other: &Wavefunction) -> CMat {
+        self.overlap_with(&**default_backend(), other)
+    }
+
+    /// [`Self::overlap`] on an explicit compute backend.
+    pub fn overlap_with(&self, backend: &dyn Backend, other: &Wavefunction) -> CMat {
         assert_eq!(self.ng, other.ng);
-        bands::overlap(&self.data, &other.data, self.ng, self.ip_scale)
+        backend.overlap(&self.data, &other.data, self.ng, self.ip_scale)
     }
 
     /// Inner product of two single bands.
@@ -87,26 +94,33 @@ impl Wavefunction {
         pwnum::cvec::dotc(self.band(i), other.band(j)).scale(self.ip_scale)
     }
 
-    /// Returns `self * Q` (subspace rotation; Q is `n_bands x n_out`).
+    /// Returns `self * Q` (subspace rotation; Q is `n_bands x n_out`),
+    /// computed on the process default backend.
     pub fn rotated(&self, q: &CMat) -> Wavefunction {
+        self.rotated_with(&**default_backend(), q)
+    }
+
+    /// [`Self::rotated`] on an explicit compute backend.
+    pub fn rotated_with(&self, backend: &dyn Backend, q: &CMat) -> Wavefunction {
         let mut out = Wavefunction {
             n_bands: q.cols(),
             ng: self.ng,
             ip_scale: self.ip_scale,
             data: vec![Complex64::ZERO; q.cols() * self.ng],
         };
-        bands::rotate(&self.data, q, self.ng, &mut out.data);
+        backend.rotate(&self.data, q, self.ng, &mut out.data);
         out
     }
 
     /// Cholesky-QR orthonormalization: `Φ ← Φ L^{-H}` with `Φ^HΦ = LL^H`.
     /// Fast; requires a numerically full-rank block.
     pub fn orthonormalize_cholesky(&mut self) {
-        let s = self.overlap(self);
+        let backend = &**default_backend();
+        let s = self.overlap_with(backend, self);
         let l = cholesky(&s).expect("orthonormalize: rank-deficient wavefunction block");
         let q = invert_lower(&l).herm();
         let mut out = vec![Complex64::ZERO; self.data.len()];
-        bands::rotate(&self.data, &q, self.ng, &mut out);
+        backend.rotate(&self.data, &q, self.ng, &mut out);
         self.data = out;
     }
 
@@ -132,7 +146,8 @@ impl Wavefunction {
                 m[(r, i)] = e.vectors[(r, i)].scale(w);
             }
         }
-        let q = pwnum::gemm::gemm(
+        let backend = &**default_backend();
+        let q = backend.gemm(
             Complex64::ONE,
             &m,
             pwnum::gemm::Op::None,
@@ -142,7 +157,7 @@ impl Wavefunction {
             None,
         );
         let mut out = vec![Complex64::ZERO; self.data.len()];
-        bands::rotate(&self.data, &q, self.ng, &mut out);
+        backend.rotate(&self.data, &q, self.ng, &mut out);
         self.data = out;
     }
 
@@ -152,19 +167,36 @@ impl Wavefunction {
         fft.inverse(out);
     }
 
-    /// Transforms all bands to real space (band-major buffer, parallel).
+    /// Transforms all bands to real space (band-major buffer, parallel),
+    /// on the process default backend.
     pub fn to_real_all(&self, fft: &Fft3) -> Vec<Complex64> {
+        self.to_real_all_with(&**default_backend(), fft)
+    }
+
+    /// [`Self::to_real_all`] on an explicit compute backend (the backend
+    /// owns the batched-FFT strategy).
+    pub fn to_real_all_with(&self, backend: &dyn Backend, fft: &Fft3) -> Vec<Complex64> {
         let mut out = self.data.clone();
-        fft.inverse_many(&mut out, self.n_bands);
+        fft.inverse_many_with(backend, &mut out, self.n_bands);
         out
     }
 
     /// Builds a block from band-major real-space values.
-    pub fn from_real(grid: &PwGrid, fft: &Fft3, mut real: Vec<Complex64>) -> Self {
+    pub fn from_real(grid: &PwGrid, fft: &Fft3, real: Vec<Complex64>) -> Self {
+        Self::from_real_with(&**default_backend(), grid, fft, real)
+    }
+
+    /// [`Self::from_real`] on an explicit compute backend.
+    pub fn from_real_with(
+        backend: &dyn Backend,
+        grid: &PwGrid,
+        fft: &Fft3,
+        mut real: Vec<Complex64>,
+    ) -> Self {
         let ng = grid.len();
         assert_eq!(real.len() % ng, 0);
         let n_bands = real.len() / ng;
-        fft.forward_many(&mut real, n_bands);
+        fft.forward_many_with(backend, &mut real, n_bands);
         Wavefunction {
             n_bands,
             ng,

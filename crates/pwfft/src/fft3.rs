@@ -8,6 +8,7 @@
 //! multi-batch cuFFT strategy (Sec. III-B b).
 
 use crate::plan::Plan;
+use pwnum::backend::{Backend, GridTransform};
 use pwnum::complex::Complex64;
 use pwnum::parallel::par_chunks_mut;
 use std::cell::RefCell;
@@ -53,8 +54,23 @@ impl Fft3 {
         (self.n0, self.n1, self.n2)
     }
 
+    /// Scratch elements required by the `_with` entry points
+    /// (line buffer + 1D plan scratch).
+    #[inline]
+    pub fn scratch_len(&self) -> usize {
+        2 * self.n0.max(self.n1).max(self.n2)
+    }
+
+    /// Scratch elements required by [`Self::transform_fused`]: a
+    /// grid-sized source copy for the row-vector passes, the row
+    /// buffers of the widest pass, and 1D plan scratch.
+    #[inline]
+    pub fn scratch_len_fused(&self) -> usize {
+        self.len() + crate::plan::MAX_FAST_RADIX * self.n1 * self.n2 + self.scratch_len()
+    }
+
     fn with_scratch<R>(&self, f: impl FnOnce(&mut [Complex64]) -> R) -> R {
-        let need = 2 * self.n0.max(self.n1).max(self.n2);
+        let need = self.scratch_len();
         SCRATCH.with(|s| {
             let mut s = s.borrow_mut();
             if s.len() < need {
@@ -65,9 +81,17 @@ impl Fft3 {
     }
 
     fn transform(&self, data: &mut [Complex64], inverse: bool) {
+        self.with_scratch(|scratch| self.transform_with(data, scratch, inverse));
+    }
+
+    /// Transforms one grid in place using caller-provided scratch of at
+    /// least [`Self::scratch_len`] elements — the allocation-free entry
+    /// point batched backends drive with a reused arena.
+    pub fn transform_with(&self, data: &mut [Complex64], scratch: &mut [Complex64], inverse: bool) {
         assert_eq!(data.len(), self.len(), "FFT3 buffer length mismatch");
         let (n0, n1, n2) = (self.n0, self.n1, self.n2);
-        self.with_scratch(|scratch| {
+        {
+            let scratch = &mut scratch[..self.scratch_len()];
             let (line, plan_scratch) = scratch.split_at_mut(n0.max(n1).max(n2));
             // Axis 2: contiguous lines.
             for row in data.chunks_mut(n2) {
@@ -111,7 +135,7 @@ impl Fft3 {
                     data[i0 * stride + i12] = line[i0];
                 }
             }
-        });
+        }
     }
 
     /// Forward 3D transform, in place (unnormalized).
@@ -122,6 +146,69 @@ impl Fft3 {
     /// Inverse 3D transform, in place (normalized by `1/len`).
     pub fn inverse(&self, data: &mut [Complex64]) {
         self.transform(data, true);
+    }
+
+    /// Fused-pass variant of [`Self::transform_with`]: the strided
+    /// axis-1/axis-0 passes run as *row-vector* FFTs
+    /// ([`Plan::forward_rows_with`]) — every butterfly moves whole
+    /// contiguous rows, so per-line recursion/twiddle overhead is
+    /// amortized over the fast axis and the inner loops vectorize. This
+    /// is the CPU analog of the fused multi-line passes in the paper's
+    /// GPU FFT path. Results are bitwise equal to the per-line variant.
+    /// `scratch` must have at least [`Self::scratch_len_fused`] elements.
+    pub fn transform_fused(
+        &self,
+        data: &mut [Complex64],
+        scratch: &mut [Complex64],
+        inverse: bool,
+    ) {
+        assert_eq!(data.len(), self.len(), "FFT3 buffer length mismatch");
+        let (n1, n2) = (self.n1, self.n2);
+        let scratch = &mut scratch[..self.scratch_len_fused()];
+        let (rows_scratch, plan_scratch) =
+            scratch.split_at_mut(self.len() + crate::plan::MAX_FAST_RADIX * n1 * n2);
+        // Axis 2: contiguous lines, per-line 1D transforms.
+        for row in data.chunks_mut(n2) {
+            if inverse {
+                self.plan2.inverse_with(row, plan_scratch);
+            } else {
+                self.plan2.forward_with(row, plan_scratch);
+            }
+        }
+        // Axis 1: per i0-plane, one row-vector FFT over n1 rows of n2.
+        for plane in data.chunks_mut(n1 * n2) {
+            if inverse {
+                self.plan1.inverse_rows_with(plane, n2, rows_scratch);
+            } else {
+                self.plan1.forward_rows_with(plane, n2, rows_scratch);
+            }
+        }
+        // Axis 0: one row-vector FFT over n0 rows of n1*n2.
+        if inverse {
+            self.plan0.inverse_rows_with(data, n1 * n2, rows_scratch);
+        } else {
+            self.plan0.forward_rows_with(data, n1 * n2, rows_scratch);
+        }
+    }
+
+    /// The forward transform as a [`GridTransform`] pass, ready to hand
+    /// to [`Backend::transform_batch`].
+    #[inline]
+    pub fn forward_pass(&self) -> FftPass<'_> {
+        FftPass { fft: self, inverse: false, fused: false }
+    }
+
+    /// The inverse transform as a [`GridTransform`] pass.
+    #[inline]
+    pub fn inverse_pass(&self) -> FftPass<'_> {
+        FftPass { fft: self, inverse: true, fused: false }
+    }
+
+    /// A pass in the requested direction, using the fused row-vector
+    /// variant when `backend` asks for fused grid passes.
+    #[inline]
+    pub fn pass_for(&self, backend: &dyn Backend, inverse: bool) -> FftPass<'_> {
+        FftPass { fft: self, inverse, fused: backend.fused_grid_passes() }
     }
 
     /// Forward-transforms `count` consecutive grids in `data`, in parallel
@@ -135,6 +222,18 @@ impl Fft3 {
         self.many(data, count, true);
     }
 
+    /// Batched forward transform routed through a compute [`Backend`]
+    /// (the backend owns slab decomposition, scratch reuse, and the
+    /// per-line vs tiled pass style).
+    pub fn forward_many_with(&self, backend: &dyn Backend, data: &mut [Complex64], count: usize) {
+        backend.transform_batch(&self.pass_for(backend, false), data, count);
+    }
+
+    /// Batched inverse transform routed through a compute [`Backend`].
+    pub fn inverse_many_with(&self, backend: &dyn Backend, data: &mut [Complex64], count: usize) {
+        backend.transform_batch(&self.pass_for(backend, true), data, count);
+    }
+
     fn many(&self, data: &mut [Complex64], count: usize, inverse: bool) {
         assert_eq!(data.len(), count * self.len(), "FFT3 batch length mismatch");
         if count == 0 {
@@ -142,6 +241,37 @@ impl Fft3 {
         }
         let n = self.len();
         par_chunks_mut(data, n, |_, grid| self.transform(grid, inverse));
+    }
+}
+
+/// One direction of a [`Fft3`] as a batched-transform pass: the bridge
+/// between the FFT plans and the [`Backend`] batching strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct FftPass<'f> {
+    fft: &'f Fft3,
+    inverse: bool,
+    fused: bool,
+}
+
+impl GridTransform for FftPass<'_> {
+    fn grid_len(&self) -> usize {
+        self.fft.len()
+    }
+
+    fn scratch_len(&self) -> usize {
+        if self.fused {
+            self.fft.scratch_len_fused()
+        } else {
+            self.fft.scratch_len()
+        }
+    }
+
+    fn run(&self, grid: &mut [Complex64], scratch: &mut [Complex64]) {
+        if self.fused {
+            self.fft.transform_fused(grid, scratch, self.inverse);
+        } else {
+            self.fft.transform_with(grid, scratch, self.inverse);
+        }
     }
 }
 

@@ -8,7 +8,10 @@
 //!   `_with` entry points for hot loops.
 //! * [`fft3`] — in-place 3D transforms over row-major grids with a
 //!   thread-parallel batched API ([`fft3::Fft3::forward_many`]) mirroring
-//!   the paper's multi-batch cuFFT strategy.
+//!   the paper's multi-batch cuFFT strategy, plus backend-routed batched
+//!   entry points ([`fft3::Fft3::forward_many_with`]) that let a
+//!   [`pwnum::backend::Backend`] own slab decomposition and scratch
+//!   reuse (DESIGN.md §3).
 //!
 //! All grid sizes used by the physics code are 2/3/5-smooth, matching the
 //! paper's production grids (e.g. 60×90×120 for 1536 Si atoms).
@@ -16,5 +19,5 @@
 pub mod fft3;
 pub mod plan;
 
-pub use fft3::Fft3;
+pub use fft3::{Fft3, FftPass};
 pub use plan::Plan;

@@ -1,0 +1,845 @@
+//! Pluggable compute backends for the performance-critical primitives.
+//!
+//! The paper's core engineering story is one rt-TDDFT code driving two
+//! radically different platforms (ARM many-core and GPU) with the same
+//! algorithm schedules. This module is the Rust analog of that seam: a
+//! [`Backend`] trait owning every hot primitive — GEMM, the band-block
+//! kernels (overlap / rotate / lincomb), elementwise kernel×field
+//! products, and batched grid transforms with reusable scratch — so a
+//! platform-specific implementation is *one type*, not a rewrite of the
+//! physics layers.
+//!
+//! Two implementations ship here:
+//!
+//! * [`Reference`] — the original scalar/threaded kernels, unchanged,
+//!   called through the trait. This is the "ARM-style" per-call path.
+//! * [`Blocked`] — the accelerator-style path mirroring the paper's GPU
+//!   strategy (Sec. III-B): a cache-blocked GEMM micro-kernel that reads
+//!   each packed `A` panel row once per four output columns, band kernels
+//!   with the same 4-wide register blocking, batched grid transforms that
+//!   reuse one scratch arena per worker across the whole batch instead of
+//!   allocating per transform, and a thread-safe [buffer pool]
+//!   (`Backend::take_buffer`) that makes the Fock/ACE inner loops
+//!   allocation-free in steady state.
+//!
+//! Both backends must agree to ≤ 1e-10 on every primitive; the property
+//! suite `tests/backend_properties.rs` enforces this, and the FFT suite
+//! in `pwfft` cross-checks batched transforms on the paper's
+//! non-power-of-two 2/3/5-smooth grids.
+//!
+//! Higher layers hold a [`BackendHandle`] (`Arc<dyn Backend>`); call
+//! sites without an explicit handle use [`default_backend`], selectable
+//! at runtime via the `PWDFT_BACKEND` environment variable
+//! (`reference` | `blocked`).
+
+use crate::bands;
+use crate::cmat::CMat;
+use crate::complex::Complex64;
+use crate::cvec;
+use crate::gemm::{self, packed, packed_cols, Op};
+use crate::parallel::{num_threads, par_chunks_mut, par_ranges};
+use parking_lot::Mutex;
+use std::sync::{Arc, OnceLock};
+
+/// One grid-sized pass of a batched transform (e.g. a forward or inverse
+/// 3-D FFT over one grid). `pwfft` implements this for its plans; keeping
+/// the trait here (below the FFT crate in the DAG) lets [`Backend`] own
+/// the *batching strategy* — slab decomposition, scratch reuse, thread
+/// count — without depending on any particular transform.
+pub trait GridTransform: Sync {
+    /// Number of elements in one grid.
+    fn grid_len(&self) -> usize;
+    /// Scratch elements required by one [`GridTransform::run`] call.
+    fn scratch_len(&self) -> usize;
+    /// Transforms one grid in place. `scratch` has at least
+    /// [`GridTransform::scratch_len`] elements and may hold garbage.
+    fn run(&self, grid: &mut [Complex64], scratch: &mut [Complex64]);
+}
+
+/// The device abstraction: every performance-critical primitive of the
+/// PT-IM hot paths, dispatchable per platform.
+///
+/// Implementations must be numerically equivalent to ≤ 1e-10 (they may
+/// differ in summation order, never in math).
+pub trait Backend: std::fmt::Debug + Send + Sync {
+    /// Short human-readable backend name (used in benches and logs).
+    fn name(&self) -> &'static str;
+
+    /// `alpha * op(A) * op(B) + beta * C0` (see [`gemm::gemm`]).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm(
+        &self,
+        alpha: Complex64,
+        a: &CMat,
+        op_a: Op,
+        b: &CMat,
+        op_b: Op,
+        beta: Complex64,
+        c0: Option<&CMat>,
+    ) -> CMat;
+
+    /// Band-block overlap `S[i][j] = scale * <a_i|b_j>`
+    /// (see [`bands::overlap`]).
+    fn overlap(&self, a: &[Complex64], b: &[Complex64], band_len: usize, scale: f64) -> CMat;
+
+    /// Subspace rotation `out_j = Σ_i a_i q[i][j]` (see [`bands::rotate`]).
+    fn rotate(&self, a: &[Complex64], q: &CMat, band_len: usize, out: &mut [Complex64]);
+
+    /// Accumulating rotation `out_j += alpha Σ_i a_i q[i][j]`
+    /// (see [`bands::rotate_acc`]).
+    fn rotate_acc(
+        &self,
+        alpha: Complex64,
+        a: &[Complex64],
+        q: &CMat,
+        band_len: usize,
+        out: &mut [Complex64],
+    );
+
+    /// Band-wise linear combination `out = ca*a + cb*b`
+    /// (see [`bands::lincomb`]).
+    fn lincomb(
+        &self,
+        ca: Complex64,
+        a: &[Complex64],
+        cb: Complex64,
+        b: &[Complex64],
+        out: &mut [Complex64],
+    );
+
+    /// Elementwise real-kernel apply `field *= k`, cycling the kernel
+    /// over consecutive `k.len()`-sized chunks of `field` (the
+    /// `K(G)·f_G` multiply of the screened Poisson solve, applied to a
+    /// whole FFT batch in one call). `field.len()` must be a multiple of
+    /// `k.len()`.
+    fn scale_by_real(&self, k: &[f64], field: &mut [Complex64]);
+
+    /// Elementwise conjugated product `out = conj(a) ⊙ b` — the
+    /// pair-density kernel of the Fock operator.
+    fn hadamard_conj(&self, a: &[Complex64], b: &[Complex64], out: &mut [Complex64]);
+
+    /// Weighted elementwise accumulate `acc += w · a ⊙ b`.
+    fn hadamard_acc(&self, w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [Complex64]);
+
+    /// Runs `pass` over `count` consecutive grids in `data` — the batched
+    /// 3-D FFT entry point. The backend owns the batching strategy (how
+    /// grids map to workers and how scratch is provisioned).
+    fn transform_batch(&self, pass: &dyn GridTransform, data: &mut [Complex64], count: usize);
+
+    /// Whether this backend wants *fused* (cache-tiled) strided grid
+    /// passes when a transform offers both styles. Accelerator-style
+    /// backends return `true`: the tiled variant moves several strided
+    /// lines per memory sweep, the analog of the coalesced multi-line
+    /// passes of the paper's GPU FFT path. Per-line and tiled variants
+    /// are required to be bitwise identical.
+    fn fused_grid_passes(&self) -> bool {
+        false
+    }
+
+    /// Hands out a zeroed buffer of `len` elements. [`Blocked`] serves
+    /// these from a pool so hot loops are allocation-free in steady
+    /// state; [`Reference`] allocates fresh.
+    fn take_buffer(&self, len: usize) -> Vec<Complex64>;
+
+    /// Hands out a buffer initialized to a copy of `src` — like
+    /// [`Backend::take_buffer`] + `copy_from_slice`, but without the
+    /// redundant zero fill when every element is overwritten anyway.
+    fn take_buffer_copy(&self, src: &[Complex64]) -> Vec<Complex64>;
+
+    /// Hands out a buffer of `len` elements with *unspecified contents*
+    /// (recycled values or zeros) — for scratch whose every element is
+    /// written before being read, avoiding the zero fill of
+    /// [`Backend::take_buffer`].
+    fn take_scratch(&self, len: usize) -> Vec<Complex64>;
+
+    /// Returns a buffer obtained from [`Backend::take_buffer`] to the
+    /// backend for reuse.
+    fn recycle_buffer(&self, buf: Vec<Complex64>);
+}
+
+/// Shared, clonable handle to a backend.
+pub type BackendHandle = Arc<dyn Backend>;
+
+/// The process-wide default backend, selected once from the
+/// `PWDFT_BACKEND` environment variable (`reference` or `blocked`;
+/// default `blocked`). Layers that are not handed an explicit
+/// [`BackendHandle`] route through this.
+pub fn default_backend() -> &'static BackendHandle {
+    static DEFAULT: OnceLock<BackendHandle> = OnceLock::new();
+    DEFAULT.get_or_init(|| match std::env::var("PWDFT_BACKEND") {
+        Ok(name) => by_name(&name).unwrap_or_else(|| {
+            panic!("PWDFT_BACKEND={name:?} is not a known backend (reference|blocked)")
+        }),
+        Err(_) => Arc::new(Blocked::new()) as BackendHandle,
+    })
+}
+
+/// Looks a backend up by name (`"reference"` or `"blocked"`).
+pub fn by_name(name: &str) -> Option<BackendHandle> {
+    match name {
+        "reference" => Some(Arc::new(Reference)),
+        "blocked" => Some(Arc::new(Blocked::new())),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference backend
+// ---------------------------------------------------------------------
+
+/// The original scalar/threaded kernels, called through the trait.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Reference;
+
+impl Backend for Reference {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn gemm(
+        &self,
+        alpha: Complex64,
+        a: &CMat,
+        op_a: Op,
+        b: &CMat,
+        op_b: Op,
+        beta: Complex64,
+        c0: Option<&CMat>,
+    ) -> CMat {
+        gemm::gemm(alpha, a, op_a, b, op_b, beta, c0)
+    }
+
+    fn overlap(&self, a: &[Complex64], b: &[Complex64], band_len: usize, scale: f64) -> CMat {
+        bands::overlap(a, b, band_len, scale)
+    }
+
+    fn rotate(&self, a: &[Complex64], q: &CMat, band_len: usize, out: &mut [Complex64]) {
+        bands::rotate(a, q, band_len, out);
+    }
+
+    fn rotate_acc(
+        &self,
+        alpha: Complex64,
+        a: &[Complex64],
+        q: &CMat,
+        band_len: usize,
+        out: &mut [Complex64],
+    ) {
+        bands::rotate_acc(alpha, a, q, band_len, out);
+    }
+
+    fn lincomb(
+        &self,
+        ca: Complex64,
+        a: &[Complex64],
+        cb: Complex64,
+        b: &[Complex64],
+        out: &mut [Complex64],
+    ) {
+        bands::lincomb(ca, a, cb, b, out);
+    }
+
+    fn scale_by_real(&self, k: &[f64], field: &mut [Complex64]) {
+        assert!(!k.is_empty(), "scale_by_real: empty kernel");
+        assert!(field.len().is_multiple_of(k.len()), "scale_by_real: field not a multiple of kernel");
+        for chunk in field.chunks_mut(k.len()) {
+            for (f, &kv) in chunk.iter_mut().zip(k) {
+                *f = f.scale(kv);
+            }
+        }
+    }
+
+    fn hadamard_conj(&self, a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
+        cvec::hadamard_conj(a, b, out);
+    }
+
+    fn hadamard_acc(&self, w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [Complex64]) {
+        cvec::hadamard_acc(w, a, b, acc);
+    }
+
+    fn transform_batch(&self, pass: &dyn GridTransform, data: &mut [Complex64], count: usize) {
+        let n = pass.grid_len();
+        assert_eq!(data.len(), count * n, "transform_batch length mismatch");
+        let scratch_len = pass.scratch_len();
+        // Per-call scratch allocation: the pre-backend semantics of one
+        // independent transform at a time, thread-parallel over grids.
+        par_chunks_mut(data, n, |_, grid| {
+            let mut scratch = vec![Complex64::ZERO; scratch_len];
+            pass.run(grid, &mut scratch);
+        });
+    }
+
+    fn take_buffer(&self, len: usize) -> Vec<Complex64> {
+        vec![Complex64::ZERO; len]
+    }
+
+    fn take_buffer_copy(&self, src: &[Complex64]) -> Vec<Complex64> {
+        src.to_vec()
+    }
+
+    fn take_scratch(&self, len: usize) -> Vec<Complex64> {
+        vec![Complex64::ZERO; len]
+    }
+
+    fn recycle_buffer(&self, _buf: Vec<Complex64>) {}
+}
+
+// ---------------------------------------------------------------------
+// Blocked backend
+// ---------------------------------------------------------------------
+
+/// Bounded thread-safe free list of scratch buffers.
+///
+/// `take` is best-fit: it hands out the *smallest* pooled buffer that
+/// satisfies the request, so a batch-sized arena is not wasted on a
+/// line-sized ask; `put` drops buffers beyond the count and byte caps
+/// rather than growing without bound.
+#[derive(Debug, Default)]
+struct BufferPool {
+    slots: Mutex<Vec<Vec<Complex64>>>,
+}
+
+/// Maximum number of buffers the pool retains.
+const POOL_CAP: usize = 64;
+
+/// Maximum total bytes the pool retains (1 GiB): one production-sized
+/// Fock pair arena is meant to stay resident, but the pool must not
+/// accumulate several of them for the process lifetime.
+const POOL_CAP_BYTES: usize = 1 << 30;
+
+impl BufferPool {
+    fn take(&self, len: usize) -> Vec<Complex64> {
+        let mut buf = self.take_empty(len);
+        buf.resize(len, Complex64::ZERO);
+        buf
+    }
+
+    /// Like [`Self::take`] but the contents are unspecified (recycled
+    /// values or zeros) — for scratch whose every element is written
+    /// before being read, avoiding the O(len) zero fill per checkout.
+    fn take_garbage(&self, len: usize) -> Vec<Complex64> {
+        let mut buf = self.lookup(len).unwrap_or_else(|| Vec::with_capacity(len));
+        if buf.len() < len {
+            // resize only writes the tail beyond the current length.
+            buf.resize(len, Complex64::ZERO);
+        } else {
+            buf.truncate(len);
+        }
+        buf
+    }
+
+    /// Best-fit lookup returning a *cleared* buffer with at least `len`
+    /// capacity (no fill — for callers that overwrite every element).
+    fn take_empty(&self, len: usize) -> Vec<Complex64> {
+        let mut buf = self.lookup(len).unwrap_or_else(|| Vec::with_capacity(len));
+        buf.clear();
+        buf
+    }
+
+    /// Best-fit pool lookup, bounded to ≤ 2×`len` capacity so a tiny
+    /// request can never check out (and hold) a batch-sized arena.
+    fn lookup(&self, len: usize) -> Option<Vec<Complex64>> {
+        let mut slots = self.slots.lock();
+        let best = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len && b.capacity() <= 2 * len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        best.map(|i| slots.swap_remove(i))
+    }
+
+    fn put(&self, buf: Vec<Complex64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut slots = self.slots.lock();
+        let pooled_bytes: usize =
+            slots.iter().map(|b| b.capacity() * std::mem::size_of::<Complex64>()).sum();
+        let incoming = buf.capacity() * std::mem::size_of::<Complex64>();
+        if slots.len() < POOL_CAP && pooled_bytes + incoming <= POOL_CAP_BYTES {
+            slots.push(buf);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+/// Cache-blocked, accelerator-style backend (the paper's GPU strategy
+/// transplanted to CPU threads): 4-wide register blocking in GEMM and the
+/// band kernels, slab-decomposed batched transforms with one scratch
+/// arena per worker, and pooled buffers for allocation-free hot loops.
+#[derive(Debug, Default)]
+pub struct Blocked {
+    pool: BufferPool,
+}
+
+/// Column-block width of the register micro-kernel: each packed `A` row
+/// segment is read once per `NB` output columns.
+const NB: usize = 4;
+
+/// Grid-point threshold below which a batched transform runs inline
+/// (spawn overhead would dominate tiny batches).
+const MIN_BATCH_PARALLEL: usize = 1 << 14;
+
+impl Blocked {
+    /// Creates the backend with an empty buffer pool.
+    pub fn new() -> Self {
+        Blocked::default()
+    }
+
+    /// Number of buffers currently pooled (test/diagnostic hook).
+    #[cfg(test)]
+    fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// Accumulates `acc[j] += Σ_l a[l] * rows[j][l]` for up to [`NB`] packed
+/// rows sharing one pass over `a` — the register micro-kernel.
+#[inline]
+fn dot_block(a: &[Complex64], rows: &[&[Complex64]], acc: &mut [Complex64]) {
+    match rows.len() {
+        4 => {
+            let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
+            let (mut s0, mut s1, mut s2, mut s3) =
+                (Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO);
+            for (l, &av) in a.iter().enumerate() {
+                s0 = av.mul_add(r0[l], s0);
+                s1 = av.mul_add(r1[l], s1);
+                s2 = av.mul_add(r2[l], s2);
+                s3 = av.mul_add(r3[l], s3);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+            acc[2] += s2;
+            acc[3] += s3;
+        }
+        m => {
+            for (j, rj) in rows.iter().enumerate().take(m) {
+                let mut s = Complex64::ZERO;
+                for (l, &av) in a.iter().enumerate() {
+                    s = av.mul_add(rj[l], s);
+                }
+                acc[j] += s;
+            }
+        }
+    }
+}
+
+/// Conjugating variant of [`dot_block`]: `acc[j] += Σ_l conj(a[l]) * rows[j][l]`.
+#[inline]
+fn dotc_block(a: &[Complex64], rows: &[&[Complex64]], acc: &mut [Complex64]) {
+    match rows.len() {
+        4 => {
+            let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
+            let (mut s0, mut s1, mut s2, mut s3) =
+                (Complex64::ZERO, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO);
+            for (l, av) in a.iter().enumerate() {
+                let ac = av.conj();
+                s0 = ac.mul_add(r0[l], s0);
+                s1 = ac.mul_add(r1[l], s1);
+                s2 = ac.mul_add(r2[l], s2);
+                s3 = ac.mul_add(r3[l], s3);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+            acc[2] += s2;
+            acc[3] += s3;
+        }
+        m => {
+            for (j, rj) in rows.iter().enumerate().take(m) {
+                let mut s = Complex64::ZERO;
+                for (l, av) in a.iter().enumerate() {
+                    s = av.conj().mul_add(rj[l], s);
+                }
+                acc[j] += s;
+            }
+        }
+    }
+}
+
+impl Backend for Blocked {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn gemm(
+        &self,
+        alpha: Complex64,
+        a: &CMat,
+        op_a: Op,
+        b: &CMat,
+        op_b: Op,
+        beta: Complex64,
+        c0: Option<&CMat>,
+    ) -> CMat {
+        let ap = packed(a, op_a);
+        let bp = packed_cols(b, op_b);
+        let (m, k) = (ap.rows(), ap.cols());
+        let n = bp.rows();
+        assert_eq!(k, bp.cols(), "gemm inner dimension mismatch");
+        if let Some(c0) = c0 {
+            assert_eq!((c0.rows(), c0.cols()), (m, n), "gemm C dimension mismatch");
+        }
+        let mut c = CMat::zeros(m, n);
+        {
+            let rows: Vec<Mutex<&mut [Complex64]>> =
+                c.as_mut_slice().chunks_mut(n.max(1)).map(Mutex::new).collect();
+            let ap = &*ap;
+            let bp = &*bp;
+            par_ranges(m, |lo, hi| {
+                let mut blk: [&[Complex64]; NB] = [&[]; NB];
+                for (i, crow_m) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let arow = ap.row(i);
+                    let mut crow = crow_m.lock();
+                    let mut jb = 0;
+                    while jb < n {
+                        let jn = (jb + NB).min(n);
+                        for (s, j) in (jb..jn).enumerate() {
+                            blk[s] = bp.row(j);
+                        }
+                        dot_block(arow, &blk[..jn - jb], &mut crow[jb..jn]);
+                        jb = jn;
+                    }
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let mut v = *cv * alpha;
+                        if let Some(c0) = c0 {
+                            v += beta * c0[(i, j)];
+                        }
+                        *cv = v;
+                    }
+                }
+            });
+        }
+        c
+    }
+
+    fn overlap(&self, a: &[Complex64], b: &[Complex64], band_len: usize, scale: f64) -> CMat {
+        let na = bands::n_bands(a, band_len);
+        let nb = bands::n_bands(b, band_len);
+        let mut s = CMat::zeros(na, nb);
+        {
+            let rows: Vec<Mutex<&mut [Complex64]>> =
+                s.as_mut_slice().chunks_mut(nb.max(1)).map(Mutex::new).collect();
+            par_ranges(na, |lo, hi| {
+                let mut blk: [&[Complex64]; NB] = [&[]; NB];
+                for (i, row_m) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let ai = bands::band(a, band_len, i);
+                    let mut row = row_m.lock();
+                    let mut jb = 0;
+                    while jb < nb {
+                        let jn = (jb + NB).min(nb);
+                        for (s, j) in (jb..jn).enumerate() {
+                            blk[s] = bands::band(b, band_len, j);
+                        }
+                        dotc_block(ai, &blk[..jn - jb], &mut row[jb..jn]);
+                        jb = jn;
+                    }
+                    for v in row.iter_mut() {
+                        *v = v.scale(scale);
+                    }
+                }
+            });
+        }
+        s
+    }
+
+    fn rotate(&self, a: &[Complex64], q: &CMat, band_len: usize, out: &mut [Complex64]) {
+        let na = bands::n_bands(a, band_len);
+        assert_eq!(q.rows(), na, "rotate: Q row count must match band count");
+        assert_eq!(out.len(), band_len * q.cols(), "rotate: bad output size");
+        cvec::zero_fill(out);
+        self.rotate_acc(Complex64::ONE, a, q, band_len, out);
+    }
+
+    fn rotate_acc(
+        &self,
+        alpha: Complex64,
+        a: &[Complex64],
+        q: &CMat,
+        band_len: usize,
+        out: &mut [Complex64],
+    ) {
+        let na = bands::n_bands(a, band_len);
+        assert_eq!(q.rows(), na, "rotate_acc: Q row count must match band count");
+        assert_eq!(out.len(), band_len * q.cols(), "rotate_acc: bad output size");
+        // Process output bands in blocks of NB: one pass over each source
+        // band updates NB outputs, dividing source-read traffic by NB.
+        par_chunks_mut(out, band_len * NB, |blk_idx, oblk| {
+            let j0 = blk_idx * NB;
+            let width = oblk.len() / band_len;
+            for i in 0..na {
+                let ai = bands::band(a, band_len, i);
+                let mut w = [Complex64::ZERO; NB];
+                let mut any = false;
+                for s in 0..width {
+                    w[s] = alpha * q[(i, j0 + s)];
+                    any |= w[s] != Complex64::ZERO;
+                }
+                if !any {
+                    continue;
+                }
+                match width {
+                    4 => {
+                        let (o0, rest) = oblk.split_at_mut(band_len);
+                        let (o1, rest) = rest.split_at_mut(band_len);
+                        let (o2, o3) = rest.split_at_mut(band_len);
+                        let (w0, w1, w2, w3) = (w[0], w[1], w[2], w[3]);
+                        for (l, &av) in ai.iter().enumerate() {
+                            o0[l] = av.mul_add(w0, o0[l]);
+                            o1[l] = av.mul_add(w1, o1[l]);
+                            o2[l] = av.mul_add(w2, o2[l]);
+                            o3[l] = av.mul_add(w3, o3[l]);
+                        }
+                    }
+                    _ => {
+                        for (s, oj) in oblk.chunks_mut(band_len).enumerate() {
+                            if w[s] != Complex64::ZERO {
+                                cvec::axpy(w[s], ai, oj);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn lincomb(
+        &self,
+        ca: Complex64,
+        a: &[Complex64],
+        cb: Complex64,
+        b: &[Complex64],
+        out: &mut [Complex64],
+    ) {
+        // Memory-bound: the reference loop is already optimal.
+        bands::lincomb(ca, a, cb, b, out);
+    }
+
+    fn scale_by_real(&self, k: &[f64], field: &mut [Complex64]) {
+        assert!(!k.is_empty(), "scale_by_real: empty kernel");
+        assert!(field.len().is_multiple_of(k.len()), "scale_by_real: field not a multiple of kernel");
+        // One fused parallel pass over the whole batch.
+        par_chunks_mut(field, k.len(), |_, chunk| {
+            for (f, &kv) in chunk.iter_mut().zip(k) {
+                *f = f.scale(kv);
+            }
+        });
+    }
+
+    fn hadamard_conj(&self, a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
+        cvec::hadamard_conj(a, b, out);
+    }
+
+    fn hadamard_acc(&self, w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [Complex64]) {
+        cvec::hadamard_acc(w, a, b, acc);
+    }
+
+    fn transform_batch(&self, pass: &dyn GridTransform, data: &mut [Complex64], count: usize) {
+        let n = pass.grid_len();
+        assert_eq!(data.len(), count * n, "transform_batch length mismatch");
+        if count == 0 {
+            return;
+        }
+        let scratch_len = pass.scratch_len();
+        let workers = if data.len() < MIN_BATCH_PARALLEL { 1 } else { num_threads(count) };
+        if workers == 1 {
+            // One arena reused across the whole batch (garbage-tolerant:
+            // GridTransform::run never reads scratch before writing it).
+            let mut scratch = self.pool.take_garbage(scratch_len);
+            for grid in data.chunks_mut(n) {
+                pass.run(grid, &mut scratch);
+            }
+            self.pool.put(scratch);
+            return;
+        }
+        // Slab decomposition: each worker claims one contiguous run of
+        // grids and reuses a single pooled arena across all of them —
+        // the "multi-batch" strategy of the paper's cuFFT path.
+        let per_worker = count.div_ceil(workers);
+        std::thread::scope(|s| {
+            for slab in data.chunks_mut(per_worker * n) {
+                s.spawn(|| {
+                    let mut scratch = self.pool.take_garbage(scratch_len);
+                    for grid in slab.chunks_mut(n) {
+                        pass.run(grid, &mut scratch);
+                    }
+                    self.pool.put(scratch);
+                });
+            }
+        });
+    }
+
+    fn fused_grid_passes(&self) -> bool {
+        true
+    }
+
+    fn take_buffer(&self, len: usize) -> Vec<Complex64> {
+        self.pool.take(len)
+    }
+
+    fn take_buffer_copy(&self, src: &[Complex64]) -> Vec<Complex64> {
+        let mut buf = self.pool.take_empty(src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    fn take_scratch(&self, len: usize) -> Vec<Complex64> {
+        self.pool.take_garbage(len)
+    }
+
+    fn recycle_buffer(&self, buf: Vec<Complex64>) {
+        self.pool.put(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn test_mat(r: usize, c: usize, phase: f64) -> CMat {
+        CMat::from_fn(r, c, |i, j| {
+            c64(
+                ((i * 7 + j * 3) as f64 * 0.37 + phase).sin(),
+                ((i as f64) - 0.5 * j as f64 + phase).cos(),
+            )
+        })
+    }
+
+    fn test_block(nb: usize, len: usize, seed: f64) -> Vec<Complex64> {
+        (0..nb * len)
+            .map(|k| c64((k as f64 * 0.13 + seed).sin(), (k as f64 * 0.07 - seed).cos()))
+            .collect()
+    }
+
+    /// A cheap non-FFT transform for exercising the batching machinery:
+    /// reverse the grid through scratch, then scale by 2.
+    struct ReversePass {
+        n: usize,
+    }
+
+    impl GridTransform for ReversePass {
+        fn grid_len(&self) -> usize {
+            self.n
+        }
+        fn scratch_len(&self) -> usize {
+            self.n
+        }
+        fn run(&self, grid: &mut [Complex64], scratch: &mut [Complex64]) {
+            scratch[..self.n].copy_from_slice(grid);
+            for (g, s) in grid.iter_mut().zip(scratch[..self.n].iter().rev()) {
+                *g = s.scale(2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_gemm_all_ops() {
+        let r = Reference;
+        let bl = Blocked::new();
+        let a = test_mat(7, 5, 0.3);
+        let at = test_mat(5, 7, 0.3);
+        let c0 = test_mat(7, 9, 2.0);
+        for (op_a, aa) in [(Op::None, &a), (Op::Trans, &at)] {
+            for op_b in [Op::None, Op::Trans, Op::ConjTrans] {
+                let bb = match op_b {
+                    Op::None => test_mat(5, 9, 1.1),
+                    _ => test_mat(9, 5, 1.1),
+                };
+                let alpha = c64(0.7, -0.2);
+                let beta = c64(-0.1, 0.4);
+                let want = r.gemm(alpha, aa, op_a, &bb, op_b, beta, Some(&c0));
+                let got = bl.gemm(alpha, aa, op_a, &bb, op_b, beta, Some(&c0));
+                assert!(
+                    want.max_abs_diff(&got) < 1e-12,
+                    "gemm mismatch for {op_a:?}/{op_b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_band_ops() {
+        let r = Reference;
+        let bl = Blocked::new();
+        let (nb, len) = (6, 37);
+        let a = test_block(nb, len, 0.2);
+        let b = test_block(nb, len, 1.4);
+        let sr = r.overlap(&a, &b, len, 1.7);
+        let sb = bl.overlap(&a, &b, len, 1.7);
+        assert!(sr.max_abs_diff(&sb) < 1e-12);
+
+        let q = test_mat(nb, 5, 0.9);
+        let mut or_ = vec![Complex64::ZERO; len * 5];
+        let mut ob = or_.clone();
+        r.rotate(&a, &q, len, &mut or_);
+        bl.rotate(&a, &q, len, &mut ob);
+        assert!(cvec::max_abs_diff(&or_, &ob) < 1e-12);
+
+        let alpha = c64(0.3, -1.1);
+        r.rotate_acc(alpha, &a, &q, len, &mut or_);
+        bl.rotate_acc(alpha, &a, &q, len, &mut ob);
+        assert!(cvec::max_abs_diff(&or_, &ob) < 1e-12);
+    }
+
+    #[test]
+    fn scale_by_real_cycles_kernel_over_batch() {
+        let r = Reference;
+        let bl = Blocked::new();
+        let k = [2.0, 3.0, 4.0];
+        let base = test_block(1, 12, 0.5);
+        let mut fr = base.clone();
+        let mut fb = base.clone();
+        r.scale_by_real(&k, &mut fr);
+        bl.scale_by_real(&k, &mut fb);
+        assert!(cvec::max_abs_diff(&fr, &fb) < 1e-15);
+        for (i, (v, orig)) in fr.iter().zip(&base).enumerate() {
+            assert!((*v - orig.scale(k[i % 3])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn transform_batch_matches_sequential_and_reuses_pool() {
+        let bl = Blocked::new();
+        let pass = ReversePass { n: 10 };
+        let count = 9;
+        let data0 = test_block(count, 10, 0.8);
+        let mut batched = data0.clone();
+        bl.transform_batch(&pass, &mut batched, count);
+        let mut seq = data0;
+        let mut scratch = vec![Complex64::ZERO; 10];
+        for grid in seq.chunks_mut(10) {
+            pass.run(grid, &mut scratch);
+        }
+        assert!(cvec::max_abs_diff(&batched, &seq) < 1e-15);
+        // The arena(s) went back to the pool.
+        assert!(bl.pooled() >= 1);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_and_zeroes() {
+        let bl = Blocked::new();
+        let mut buf = bl.take_buffer(100);
+        buf[0] = c64(5.0, 5.0);
+        let cap = buf.capacity();
+        bl.recycle_buffer(buf);
+        let again = bl.take_buffer(64);
+        // Reused the pooled allocation and re-zeroed it.
+        assert_eq!(again.capacity(), cap);
+        assert!(again.iter().all(|z| *z == Complex64::ZERO));
+    }
+
+    #[test]
+    fn by_name_and_default() {
+        assert_eq!(by_name("reference").unwrap().name(), "reference");
+        assert_eq!(by_name("blocked").unwrap().name(), "blocked");
+        assert!(by_name("cuda").is_none());
+        let d = default_backend();
+        assert!(d.name() == "reference" || d.name() == "blocked");
+    }
+}

@@ -20,13 +20,13 @@ use parking_lot::Mutex;
 
 /// Splits a band-major buffer into per-band slices.
 #[inline]
-pub fn band<'a>(data: &'a [Complex64], band_len: usize, i: usize) -> &'a [Complex64] {
+pub fn band(data: &[Complex64], band_len: usize, i: usize) -> &[Complex64] {
     &data[i * band_len..(i + 1) * band_len]
 }
 
 /// Mutable variant of [`band`].
 #[inline]
-pub fn band_mut<'a>(data: &'a mut [Complex64], band_len: usize, i: usize) -> &'a mut [Complex64] {
+pub fn band_mut(data: &mut [Complex64], band_len: usize, i: usize) -> &mut [Complex64] {
     &mut data[i * band_len..(i + 1) * band_len]
 }
 
@@ -48,9 +48,9 @@ pub fn overlap(a: &[Complex64], b: &[Complex64], band_len: usize, scale: f64) ->
         let rows: Vec<Mutex<&mut [Complex64]>> =
             s.as_mut_slice().chunks_mut(nb).map(Mutex::new).collect();
         par_ranges(na, |lo, hi| {
-            for i in lo..hi {
+            for (i, row_m) in rows.iter().enumerate().take(hi).skip(lo) {
                 let ai = band(a, band_len, i);
-                let mut row = rows[i].lock();
+                let mut row = row_m.lock();
                 for j in 0..nb {
                     row[j] = dotc(ai, band(b, band_len, j)).scale(scale);
                 }

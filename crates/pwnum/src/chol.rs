@@ -37,7 +37,7 @@ pub fn cholesky(a: &CMat) -> Result<CMat, NotPositiveDefinite> {
         for k in 0..j {
             d -= l[(j, k)].norm_sqr();
         }
-        if !(d > 0.0) || !d.is_finite() {
+        if d <= 0.0 || !d.is_finite() {
             return Err(NotPositiveDefinite { pivot: j, value: d });
         }
         let ljj = d.sqrt();
@@ -64,7 +64,7 @@ pub fn solve_lower(l: &CMat, b: &[Complex64]) -> Vec<Complex64> {
             let xk = x[k];
             x[i] -= lik * xk;
         }
-        x[i] = x[i] / l[(i, i)];
+        x[i] /= l[(i, i)];
     }
     x
 }
@@ -81,7 +81,7 @@ pub fn solve_lower_herm(l: &CMat, b: &[Complex64]) -> Vec<Complex64> {
             let xk = x[k];
             x[i] -= lki * xk;
         }
-        x[i] = x[i] / l[(i, i)].conj();
+        x[i] /= l[(i, i)].conj();
     }
     x
 }

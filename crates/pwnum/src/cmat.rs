@@ -193,8 +193,8 @@ impl CMat {
     pub fn mul_vec(&self, x: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(self.cols, x.len(), "mul_vec dimension mismatch");
         let mut y = vec![Complex64::ZERO; self.rows];
-        for r in 0..self.rows {
-            y[r] = crate::cvec::dotu(self.row(r), x);
+        for (r, yv) in y.iter_mut().enumerate() {
+            *yv = crate::cvec::dotu(self.row(r), x);
         }
         y
     }

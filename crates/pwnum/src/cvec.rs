@@ -31,7 +31,7 @@ pub fn raxpy(a: f64, x: &[Complex64], y: &mut [Complex64]) {
 #[inline]
 pub fn scale(a: Complex64, x: &mut [Complex64]) {
     for xi in x.iter_mut() {
-        *xi = *xi * a;
+        *xi *= a;
     }
 }
 

@@ -12,6 +12,7 @@ use crate::complex::Complex64;
 use crate::cvec::dotu;
 use crate::parallel::par_ranges;
 use parking_lot::Mutex;
+use std::borrow::Cow;
 
 /// How an operand enters the product.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,11 +25,27 @@ pub enum Op {
     ConjTrans,
 }
 
-fn packed(a: &CMat, op: Op) -> CMat {
+/// Packs `op(A)` row-major, borrowing when the stored layout already
+/// matches (`Op::None` costs nothing).
+pub(crate) fn packed(a: &CMat, op: Op) -> Cow<'_, CMat> {
     match op {
-        Op::None => a.clone(),
-        Op::Trans => a.transpose(),
-        Op::ConjTrans => a.herm(),
+        Op::None => Cow::Borrowed(a),
+        Op::Trans => Cow::Owned(a.transpose()),
+        Op::ConjTrans => Cow::Owned(a.herm()),
+    }
+}
+
+/// Packs `op(B)` *transposed* row-major — row `j` holds column `j` of
+/// `op(B)` — borrowing when `op_b` already yields contiguous columns
+/// (`Op::Trans` costs nothing).
+pub(crate) fn packed_cols(b: &CMat, op: Op) -> Cow<'_, CMat> {
+    match op {
+        Op::None => Cow::Owned(b.transpose()),
+        Op::Trans => Cow::Borrowed(b),
+        Op::ConjTrans => {
+            // (B^H)^T = conj(B): the stored layout, conjugated.
+            Cow::Owned(CMat::from_fn(b.rows(), b.cols(), |r, c| b[(r, c)].conj()))
+        }
     }
 }
 
@@ -46,14 +63,7 @@ pub fn gemm(
 ) -> CMat {
     let ap = packed(a, op_a);
     // Pack op(B) transposed so each output column is a contiguous row.
-    let bp = match op_b {
-        Op::None => b.transpose(),
-        Op::Trans => b.clone(),
-        Op::ConjTrans => {
-            // (B^H)^T = conj(B)
-            CMat::from_fn(b.rows(), b.cols(), |r, c| b[(r, c)].conj())
-        }
-    };
+    let bp = packed_cols(b, op_b);
     let (m, k) = (ap.rows(), ap.cols());
     let n = bp.rows();
     assert_eq!(k, bp.cols(), "gemm inner dimension mismatch");
@@ -66,9 +76,9 @@ pub fn gemm(
         let rows: Vec<Mutex<&mut [Complex64]>> =
             c.as_mut_slice().chunks_mut(n).map(Mutex::new).collect();
         par_ranges(m, |lo, hi| {
-            for i in lo..hi {
+            for (i, crow_m) in rows.iter().enumerate().take(hi).skip(lo) {
                 let arow = ap.row(i);
-                let mut crow = rows[i].lock();
+                let mut crow = crow_m.lock();
                 for j in 0..n {
                     let mut v = (dotu(arow, bp.row(j))) * alpha;
                     if let Some(c0) = c0 {

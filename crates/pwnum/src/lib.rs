@@ -18,10 +18,17 @@
 //! * [`lstsq`] — regularized least squares for Anderson mixing.
 //! * [`parallel`] — scoped-thread `parallel for` helpers (the OpenMP
 //!   analog of the paper's node-level parallelism).
+//! * [`backend`] — the pluggable compute-backend layer: a [`Backend`]
+//!   trait owning the hot primitives (GEMM, band ops, elementwise
+//!   kernel products, batched grid transforms, buffer pool) with
+//!   [`backend::Reference`] (the scalar/threaded kernels above) and
+//!   [`backend::Blocked`] (cache-blocked, accelerator-style)
+//!   implementations — the swap-in seam for SIMD/GPU ports.
 //!
 //! No external math dependencies: every routine is implemented here and
 //! validated by unit + property tests.
 
+pub mod backend;
 pub mod bands;
 pub mod chol;
 pub mod cmat;
@@ -32,6 +39,7 @@ pub mod gemm;
 pub mod lstsq;
 pub mod parallel;
 
+pub use backend::{Backend, BackendHandle};
 pub use cmat::CMat;
 pub use complex::{c64, Complex64};
 pub use eig::{eigh, EigH};

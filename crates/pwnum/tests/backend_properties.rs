@@ -1,0 +1,169 @@
+//! Backend-equivalence property suite: the `Reference` and `Blocked`
+//! compute backends must agree to ≤ 1e-10 on every primitive of the
+//! [`pwnum::backend::Backend`] trait, for arbitrary shapes and operand
+//! ops — the contract that makes the backend seam safe to swap.
+
+use proptest::prelude::*;
+use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform};
+use pwnum::cmat::CMat;
+use pwnum::complex::{c64, Complex64};
+use pwnum::gemm::Op;
+
+fn pair() -> (BackendHandle, BackendHandle) {
+    (by_name("reference").unwrap(), by_name("blocked").unwrap())
+}
+
+fn cmat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), rows * cols).prop_map(move |v| {
+        CMat::from_vec(rows, cols, v.into_iter().map(|(re, im)| c64(re, im)).collect())
+    })
+}
+
+fn block_strategy(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+}
+
+/// A non-FFT grid pass (cyclic shift by 1 through scratch, scaled) for
+/// exercising `transform_batch` semantics independently of `pwfft`.
+struct ShiftPass {
+    n: usize,
+}
+
+impl GridTransform for ShiftPass {
+    fn grid_len(&self) -> usize {
+        self.n
+    }
+    fn scratch_len(&self) -> usize {
+        self.n
+    }
+    fn run(&self, grid: &mut [Complex64], scratch: &mut [Complex64]) {
+        scratch[..self.n].copy_from_slice(grid);
+        for i in 0..self.n {
+            grid[i] = scratch[(i + 1) % self.n].scale(1.5);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_agrees_all_op_combinations(
+        a in cmat_strategy(6, 4),
+        b in cmat_strategy(4, 7),
+        at in cmat_strategy(4, 6),
+        bt in cmat_strategy(7, 4),
+        c0 in cmat_strategy(6, 7),
+        alpha in (-2.0f64..2.0, -2.0f64..2.0),
+        beta in (-2.0f64..2.0, -2.0f64..2.0),
+    ) {
+        let (r, bl) = pair();
+        let alpha = c64(alpha.0, alpha.1);
+        let beta = c64(beta.0, beta.1);
+        for (op_a, aa) in [(Op::None, &a), (Op::Trans, &at), (Op::ConjTrans, &at)] {
+            for (op_b, bb) in [(Op::None, &b), (Op::Trans, &bt), (Op::ConjTrans, &bt)] {
+                let want = r.gemm(alpha, aa, op_a, bb, op_b, beta, Some(&c0));
+                let got = bl.gemm(alpha, aa, op_a, bb, op_b, beta, Some(&c0));
+                prop_assert!(
+                    want.max_abs_diff(&got) < 1e-10,
+                    "gemm {op_a:?}/{op_b:?}: {}",
+                    want.max_abs_diff(&got)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_agrees(
+        a in block_strategy(7 * 33),
+        b in block_strategy(5 * 33),
+        scale in 0.1f64..3.0,
+    ) {
+        let (r, bl) = pair();
+        let sr = r.overlap(&a, &b, 33, scale);
+        let sb = bl.overlap(&a, &b, 33, scale);
+        prop_assert!(sr.max_abs_diff(&sb) < 1e-10);
+    }
+
+    #[test]
+    fn rotate_and_rotate_acc_agree(
+        a in block_strategy(5 * 21),
+        q in cmat_strategy(5, 6),
+        alpha in (-2.0f64..2.0, -2.0f64..2.0),
+        seed in block_strategy(6 * 21),
+    ) {
+        let (r, bl) = pair();
+        let mut out_r = vec![Complex64::ZERO; 6 * 21];
+        let mut out_b = out_r.clone();
+        r.rotate(&a, &q, 21, &mut out_r);
+        bl.rotate(&a, &q, 21, &mut out_b);
+        prop_assert!(pwnum::cvec::max_abs_diff(&out_r, &out_b) < 1e-10);
+
+        // Accumulating variant from a shared nonzero starting point.
+        let alpha = c64(alpha.0, alpha.1);
+        let mut acc_r = seed.clone();
+        let mut acc_b = seed;
+        r.rotate_acc(alpha, &a, &q, 21, &mut acc_r);
+        bl.rotate_acc(alpha, &a, &q, 21, &mut acc_b);
+        prop_assert!(pwnum::cvec::max_abs_diff(&acc_r, &acc_b) < 1e-10);
+    }
+
+    #[test]
+    fn lincomb_and_elementwise_agree(
+        a in block_strategy(64),
+        b in block_strategy(64),
+        k in proptest::collection::vec(-2.0f64..2.0, 16),
+        w in (-2.0f64..2.0, -2.0f64..2.0),
+    ) {
+        let (r, bl) = pair();
+        let ca = c64(0.4, -0.7);
+        let cb = c64(-1.1, 0.2);
+        let mut out_r = vec![Complex64::ZERO; 64];
+        let mut out_b = out_r.clone();
+        r.lincomb(ca, &a, cb, &b, &mut out_r);
+        bl.lincomb(ca, &a, cb, &b, &mut out_b);
+        prop_assert!(pwnum::cvec::max_abs_diff(&out_r, &out_b) < 1e-12);
+
+        // Kernel apply cycles over the batch identically.
+        let mut fr = a.clone();
+        let mut fb = a.clone();
+        r.scale_by_real(&k, &mut fr);
+        bl.scale_by_real(&k, &mut fb);
+        prop_assert!(pwnum::cvec::max_abs_diff(&fr, &fb) < 1e-12);
+
+        let w = c64(w.0, w.1);
+        let mut hr = out_r.clone();
+        let mut hb = out_r.clone();
+        r.hadamard_conj(&a, &b, &mut hr);
+        bl.hadamard_conj(&a, &b, &mut hb);
+        prop_assert!(pwnum::cvec::max_abs_diff(&hr, &hb) < 1e-12);
+        r.hadamard_acc(w, &a, &b, &mut hr);
+        bl.hadamard_acc(w, &a, &b, &mut hb);
+        prop_assert!(pwnum::cvec::max_abs_diff(&hr, &hb) < 1e-12);
+    }
+
+    #[test]
+    fn transform_batch_agrees(data in block_strategy(11 * 13)) {
+        let (r, bl) = pair();
+        let pass = ShiftPass { n: 13 };
+        let mut dr = data.clone();
+        let mut db = data;
+        r.transform_batch(&pass, &mut dr, 11);
+        bl.transform_batch(&pass, &mut db, 11);
+        prop_assert!(pwnum::cvec::max_abs_diff(&dr, &db) < 1e-14);
+    }
+}
+
+#[test]
+fn buffer_pool_roundtrip_is_zeroed() {
+    let (r, bl) = pair();
+    for be in [&r, &bl] {
+        let mut buf = be.take_buffer(128);
+        assert!(buf.iter().all(|z| *z == Complex64::ZERO));
+        buf[5] = c64(3.0, -4.0);
+        be.recycle_buffer(buf);
+        let again = be.take_buffer(64);
+        assert!(again.iter().all(|z| *z == Complex64::ZERO));
+    }
+}

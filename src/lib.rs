@@ -6,8 +6,12 @@
 //!
 //! The workspace implements, from scratch:
 //!
-//! * [`pwnum`] — complex arithmetic and dense linear algebra,
-//! * [`pwfft`] — mixed-radix FFTs over plane-wave grids,
+//! * [`pwnum`] — complex arithmetic, dense linear algebra, and the
+//!   pluggable compute-backend layer ([`pwnum::backend`]) every hot
+//!   primitive dispatches through (`Reference` scalar/threaded vs
+//!   `Blocked` accelerator-style, mirroring the paper's ARM/GPU split),
+//! * [`pwfft`] — mixed-radix FFTs over plane-wave grids with
+//!   backend-routed batched transforms,
 //! * [`mpisim`] — a thread-backed MPI-like runtime with a virtual-clock
 //!   network model,
 //! * [`pwdft`] — the plane-wave Kohn–Sham DFT substrate (Hamiltonian,

@@ -9,13 +9,12 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use pwdft::{Cell, DftSystem, FockOperator, Wavefunction};
-use pwdft_bench::backend_for_platform;
+use pwdft_bench::{backend_for_platform, median_secs};
 use pwnum::backend::{by_name, BackendHandle};
 use pwnum::cmat::CMat;
 use pwnum::complex::{c64, Complex64};
 use pwnum::gemm::Op;
 use std::hint::black_box;
-use std::time::Instant;
 
 fn backends() -> [BackendHandle; 2] {
     [by_name("reference").unwrap(), by_name("blocked").unwrap()]
@@ -103,20 +102,6 @@ fn bench_batched_fft(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_fock_apply, bench_subspace_gemm, bench_batched_fft);
-
-/// Median wall time per call of `f` over `iters` samples (one warm-up).
-fn median_secs(iters: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut samples: Vec<f64> = (0..iters)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
-}
 
 fn main() {
     benches();

@@ -24,7 +24,7 @@ fn bench_steps(c: &mut Criterion) {
     let mut g = c.benchmark_group("propagator_step");
     g.sample_size(10);
     let (sys, st) = fixture();
-    let hyb = HybridParams { alpha: 0.25, omega: 0.2 };
+    let hyb = HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() };
     let eng = TdEngine::new(&sys, LaserPulse::off(), hyb);
 
     // RK4 covering the same physical time as one PT-IM step needs many

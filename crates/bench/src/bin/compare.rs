@@ -1,0 +1,57 @@
+//! CI gate for the pair-symmetric Fock scheduler: reads
+//! `BENCH_fock_pairsym.json` (path as the first argument, default
+//! `BENCH_fock_pairsym.json` in the working directory) and exits
+//! nonzero if the pair-symmetric path is *slower* than the baseline
+//! `apply_diag` at N = 128 — a perf regression the bench job must catch.
+
+use std::process::ExitCode;
+
+/// Extracts the `f64` after `"key": ` in `obj` (flat JSON object text).
+fn field_f64(obj: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fock_pairsym.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("compare: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Per-benchmark objects are written one per line by the harness.
+    let mut checked = false;
+    for obj in text.split('{') {
+        let (Some(bands), Some(speedup)) = (field_f64(obj, "bands"), field_f64(obj, "speedup"))
+        else {
+            continue;
+        };
+        // The screened row also runs at specific band counts; gate only
+        // the headline pure-halving row.
+        if bands as usize == 128 && !obj.contains("screened") {
+            checked = true;
+            println!("N=128: pair-symmetric speedup {speedup:.3}x over baseline");
+            if speedup < 1.0 {
+                eprintln!(
+                    "compare: FAIL — pair-symmetric path slower than baseline at N=128 \
+                     ({speedup:.3}x)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !checked {
+        eprintln!("compare: FAIL — no N=128 row found in {path}");
+        return ExitCode::FAILURE;
+    }
+    println!("compare: OK");
+    ExitCode::SUCCESS
+}

@@ -72,6 +72,21 @@ pub fn backend_for_platform(platform: &Platform) -> BackendHandle {
     by_name(name).expect("built-in backend")
 }
 
+/// Median wall time per call of `f` over `iters` samples (one warm-up) —
+/// shared by the JSON-writing bench harnesses.
+pub fn median_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
 /// Prints a markdown-style table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}");

@@ -272,6 +272,20 @@ pub fn dist_density(
 /// Distributed Fock exchange `VxΨ` on the local target bands, circulating
 /// the (natural-orbital) source bands with the chosen strategy. Returns
 /// the result in real space.
+///
+/// When the local targets *alias* the local source block (pass the
+/// same slice for `nat_r_local` and `psi_r_local` — the self-applied
+/// case a distributed ACE rebuild performs), the diagonal block — the
+/// step where a rank processes its own bands — uses the Hermitian
+/// `i ≤ j` pair halving: both ends of each local pair live on this
+/// rank, so one Poisson solve feeds both accumulators. Off-diagonal
+/// blocks keep the one-sided loop (the swapped contribution belongs to
+/// the remote owner). Note [`dist_ptim_step`]'s dense path applies Vx
+/// to *trial* vectors distinct from the natural orbitals, so it stays
+/// on the asymmetric path by construction; the halving engages for
+/// self-applied callers (serial equivalents: `apply_pure`/ACE
+/// rebuilds). Occupation screening follows the operator's
+/// [`FockOptions`](pwdft::FockOptions).
 pub fn dist_fock_apply(
     comm: &mut Comm,
     fock: &FockOperator,
@@ -283,7 +297,11 @@ pub fn dist_fock_apply(
 ) -> Vec<Complex64> {
     let p = comm.size();
     let ng = fock.ng();
+    let my_rank = comm.rank();
     let n_local_tgt = psi_r_local.len() / ng;
+    let cutoff = fock.options().occ_cutoff;
+    let symmetric = nat_r_local.as_ptr() == psi_r_local.as_ptr()
+        && nat_r_local.len() == psi_r_local.len();
     let mut out = vec![Complex64::ZERO; psi_r_local.len()];
     // Pooled on the blocked backend (contents unspecified — fully
     // rewritten per pair): the ring inner loop stays allocation-free.
@@ -294,9 +312,43 @@ pub fn dist_fock_apply(
                          out: &mut [Complex64],
                          pair: &mut [Complex64]| {
         let src_range = dist.range(src_rank);
+        if symmetric && src_rank == my_rank {
+            // Diagonal block: i ≤ j halving over the local pair set
+            // (`block` is the circulating copy of the local bands, so
+            // sources and targets are bitwise the same vectors).
+            let nb = src_range.len();
+            for bi in 0..nb {
+                let di = occ[src_range.start + bi];
+                let di_on = di.abs() >= cutoff;
+                let src_i = &block[bi * ng..(bi + 1) * ng];
+                if di_on {
+                    let oi = &mut out[bi * ng..(bi + 1) * ng];
+                    fock.accumulate_pair(src_i, src_i, di, oi, pair);
+                }
+                for bj in bi + 1..nb {
+                    let dj = occ[src_range.start + bj];
+                    let dj_on = dj.abs() >= cutoff;
+                    if !di_on && !dj_on {
+                        continue;
+                    }
+                    let src_j = &block[bj * ng..(bj + 1) * ng];
+                    let (lo, hi) = out.split_at_mut(bj * ng);
+                    let oi = &mut lo[bi * ng..(bi + 1) * ng];
+                    let oj = &mut hi[..ng];
+                    if di_on && dj_on {
+                        fock.accumulate_pair_sym(src_i, src_j, di, dj, oj, oi, pair);
+                    } else if di_on {
+                        fock.accumulate_pair(src_i, src_j, di, oj, pair);
+                    } else {
+                        fock.accumulate_pair(src_j, src_i, dj, oi, pair);
+                    }
+                }
+            }
+            return;
+        }
         for (bi, gi) in src_range.clone().enumerate() {
             let d = occ[gi];
-            if d.abs() < 1e-14 {
+            if d.abs() < cutoff {
                 continue;
             }
             let src_band = &block[bi * ng..(bi + 1) * ng];
@@ -376,7 +428,8 @@ pub fn dist_ptim_step(
     let dv = sys.grid.dv();
     let x_saw = sawtooth_x(&sys.grid);
     let backend = default_backend().clone();
-    let fock = FockOperator::with_backend(&sys.grid, cfg.hybrid.omega, backend.clone());
+    let fock =
+        FockOperator::with_options(&sys.grid, cfg.hybrid.omega, backend.clone(), cfg.hybrid.fock);
     let t_mid = state.time + 0.5 * dt;
     let mut stats = StepStats::default();
 
@@ -669,10 +722,52 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_dist_fock_halves_diagonal_blocks_and_matches_serial() {
+        // Self-applied case (ACE rebuild): local targets alias the local
+        // source block, so each rank's diagonal block runs the i ≤ j
+        // pair halving. Must match the serial pair-symmetric apply.
+        let (sys, st) = fixture();
+        let e = eigh(&st.sigma);
+        let nat = st.phi.rotated(&e.vectors);
+        let fock = FockOperator::new(&sys.grid, 0.2);
+        let nat_r = nat.to_real_all(&sys.fft);
+        let serial = fock.apply_pure(&nat_r, &e.values);
+        let ng = sys.grid.len();
+
+        for strategy in
+            [ExchangeStrategy::Bcast, ExchangeStrategy::Ring, ExchangeStrategy::AsyncRing]
+        {
+            for p in [1, 2, 3] {
+                let out = Cluster::ideal(p).run(|c| {
+                    let dist = BandDistribution::new(4, c.size());
+                    let my = dist.range(c.rank());
+                    let fock = FockOperator::new(&sys.grid, 0.2);
+                    let nat_local_r = nat_r[my.start * ng..my.end * ng].to_vec();
+                    // Targets ARE the sources: pass the same slice.
+                    let vx = dist_fock_apply(
+                        c,
+                        &fock,
+                        &dist,
+                        &nat_local_r,
+                        &e.values,
+                        &nat_local_r,
+                        strategy,
+                    );
+                    let want = &serial[my.start * ng..my.end * ng];
+                    pwnum::cvec::max_abs_diff(&vx, want)
+                });
+                for (d, _) in &out {
+                    assert!(*d < 1e-9, "{strategy:?} p={p}: symmetric Fock mismatch {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn distributed_step_matches_serial_ptim() {
         let (sys, st) = fixture();
         let laser = LaserPulse::off();
-        let hyb = HybridParams { alpha: 0.25, omega: 0.2 };
+        let hyb = HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() };
 
         // Serial reference.
         let eng = crate::engine::TdEngine::new(&sys, LaserPulse::off(), hyb);
@@ -773,7 +868,7 @@ mod tests {
     fn shm_reduces_sigma_footprint() {
         let (sys, st) = fixture();
         let laser = LaserPulse::off();
-        let hyb = HybridParams { alpha: 0.0, omega: 0.2 };
+        let hyb = HybridParams { alpha: 0.0, omega: 0.2, ..Default::default() };
         let run = |use_shm: bool| {
             let st2 = st.clone();
             let sys_ref = &sys;

@@ -6,7 +6,7 @@ use crate::state::TdState;
 use pwdft::density::{density_from_natural_with, natural_orbitals_with, NaturalOrbitals};
 use pwdft::energy::{external_energy, kinetic_energy, EnergyBreakdown};
 use pwdft::hamiltonian::{build_hxc_with, Exchange, Hamiltonian};
-use pwdft::{DftSystem, FockOperator, Wavefunction};
+use pwdft::{DftSystem, FockOperator, FockOptions, Wavefunction};
 use pwnum::backend::{default_backend, BackendHandle};
 use pwnum::cmat::CMat;
 
@@ -17,11 +17,19 @@ pub struct HybridParams {
     pub alpha: f64,
     /// Screening ω (bohr⁻¹; HSE06: 0.106).
     pub omega: f64,
+    /// Fock pair-block scheduler options (occupation screening cutoff,
+    /// pairs per tile), forwarded to every exchange evaluation the
+    /// propagators trigger.
+    pub fock: FockOptions,
 }
 
 impl Default for HybridParams {
     fn default() -> Self {
-        HybridParams { alpha: 0.25, omega: pwdft::fock::HSE_OMEGA }
+        HybridParams {
+            alpha: 0.25,
+            omega: pwdft::fock::HSE_OMEGA,
+            fock: FockOptions::default(),
+        }
     }
 }
 
@@ -76,6 +84,17 @@ impl<'s> TdEngine<'s> {
         TdEngine { sys, laser, hybrid, backend, x_saw }
     }
 
+    /// A Fock operator on the engine's grid, backend, and scheduler
+    /// options — the one construction every exchange evaluation shares.
+    pub fn fock_operator(&self) -> FockOperator<'s> {
+        FockOperator::with_options(
+            &self.sys.grid,
+            self.hybrid.omega,
+            self.backend.clone(),
+            self.hybrid.fock,
+        )
+    }
+
     /// The laser potential at time `t`.
     pub fn vext_at(&self, t: f64) -> Vec<f64> {
         let mut v = vec![0.0; self.sys.grid.len()];
@@ -110,15 +129,7 @@ impl<'s> TdEngine<'s> {
         } else {
             Exchange::None
         };
-        let fock = if self.hybrid.alpha != 0.0 {
-            Some(FockOperator::with_backend(
-                &self.sys.grid,
-                self.hybrid.omega,
-                self.backend.clone(),
-            ))
-        } else {
-            None
-        };
+        let fock = if self.hybrid.alpha != 0.0 { Some(self.fock_operator()) } else { None };
         Hamiltonian::with_backend(
             &self.sys.grid,
             &self.sys.vloc,
@@ -148,20 +159,39 @@ impl<'s> TdEngine<'s> {
 
     /// Full exchange images `W = VxΦ` for the state (used to build ACE).
     /// Returns `(W, E_x)` with `W` masked to the cutoff sphere.
+    ///
+    /// One pair-symmetric apply on the natural orbitals covers both
+    /// outputs: `Vx Φ̃` gives `Ex` directly, and by linearity
+    /// `Vx Φ = (Vx Φ̃) Qᴴ` — a band rotation instead of the second (and
+    /// previously asymmetric, unhalved) Fock application.
     pub fn exchange_images(&self, phi: &Wavefunction, sigma: &CMat) -> (Wavefunction, f64) {
+        let (w, ex, _) = self.exchange_images_stats(phi, sigma);
+        (w, ex)
+    }
+
+    /// [`Self::exchange_images`] also returning the scheduler's
+    /// [`FockApplyStats`](pwdft::FockApplyStats), so callers with a
+    /// nonzero screening cutoff can read the dropped weight
+    /// (`skipped_weight`) and bound the approximation error.
+    pub fn exchange_images_stats(
+        &self,
+        phi: &Wavefunction,
+        sigma: &CMat,
+    ) -> (Wavefunction, f64, pwdft::FockApplyStats) {
         let be = &*self.backend;
-        let fock =
-            FockOperator::with_backend(&self.sys.grid, self.hybrid.omega, self.backend.clone());
+        let fock = self.fock_operator();
         let nat = natural_orbitals_with(be, phi, sigma);
         let nat_r = nat.phi.to_real_all_with(be, &self.sys.fft);
-        let phi_r = phi.to_real_all_with(be, &self.sys.fft);
-        let vx_r = fock.apply_diag(&nat_r, &nat.occ, &phi_r);
+        let (vx_nat, stats) = fock.apply_pure_stats(&nat_r, &nat.occ);
         // Exchange energy in the natural basis: Ex = Σ d_i <φ̃_i|Vx|φ̃_i>.
-        let vx_nat = fock.apply_diag(&nat_r, &nat.occ, &nat_r);
         let ex = fock.exchange_energy(&nat_r, &nat.occ, &vx_nat, self.sys.grid.dv());
+        // Rotate the images back to the original orbital gauge.
+        let ng = self.sys.grid.len();
+        let mut vx_r = vec![pwnum::Complex64::ZERO; vx_nat.len()];
+        be.rotate(&vx_nat, &nat.q.herm(), ng, &mut vx_r);
         let mut w = Wavefunction::from_real_with(be, &self.sys.grid, &self.sys.fft, vx_r);
         w.mask(&self.sys.grid);
-        (w, ex)
+        (w, ex, stats)
     }
 
     /// Electronic dipole along x: `d_x = -∫ x_saw ρ dV`.
@@ -180,11 +210,7 @@ impl<'s> TdEngine<'s> {
     pub fn total_energy(&self, state: &TdState) -> EnergyBreakdown {
         let ev = self.eval(&state.phi, &state.sigma, state.time);
         let exact_exchange = if self.hybrid.alpha != 0.0 {
-            let fock = FockOperator::with_backend(
-                &self.sys.grid,
-                self.hybrid.omega,
-                self.backend.clone(),
-            );
+            let fock = self.fock_operator();
             let vx_nat = fock.apply_diag(&ev.nat_r, &ev.nat.occ, &ev.nat_r);
             self.hybrid.alpha
                 * fock.exchange_energy(&ev.nat_r, &ev.nat.occ, &vx_nat, self.sys.grid.dv())
@@ -226,7 +252,7 @@ mod tests {
     #[test]
     fn eval_density_integrates_to_trace() {
         let (sys, laser) = engine_fixture(0.0);
-        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1 });
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let st = toy_state(&sys, 4);
         let ev = eng.eval(&st.phi, &st.sigma, 0.0);
         let ne = pwdft::density::electron_count(&sys.grid, &ev.rho);
@@ -236,7 +262,7 @@ mod tests {
     #[test]
     fn dipole_of_symmetric_density_vanishes() {
         let (sys, laser) = engine_fixture(0.0);
-        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1 });
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         // Uniform density: zero dipole by symmetry of the sawtooth.
         let rho = vec![1.0; sys.grid.len()];
         assert!(eng.dipole_x(&rho).abs() < 1e-9);
@@ -246,7 +272,7 @@ mod tests {
     fn hamiltonian_hermitian_with_field() {
         let (sys, _) = engine_fixture(0.0);
         let laser = LaserPulse { e0: 0.02, omega: 0.12, t_center: 10.0, t_width: 5.0 };
-        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2 });
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() });
         let st = toy_state(&sys, 3);
         let ev = eng.eval(&st.phi, &st.sigma, 10.0);
         let h = eng.hamiltonian_dense(&ev);
@@ -262,7 +288,7 @@ mod tests {
         // E must be invariant under Φ -> ΦU, σ -> U^H σ U (same density
         // matrix P).
         let (sys, laser) = engine_fixture(0.25);
-        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2 });
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() });
         let st = toy_state(&sys, 3);
         let e0 = eng.total_energy(&st).total();
 
@@ -295,7 +321,7 @@ mod tests {
     #[test]
     fn exchange_images_build_valid_ace() {
         let (sys, laser) = engine_fixture(0.25);
-        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2 });
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() });
         let st = toy_state(&sys, 3);
         let (w, ex) = eng.exchange_images(&st.phi, &st.sigma);
         assert!(ex < 0.0);

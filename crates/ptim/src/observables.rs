@@ -103,7 +103,7 @@ mod tests {
     fn recorder_collects_and_serializes() {
         let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.0, [6, 6, 6]);
         let eng =
-            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let phi = Wavefunction::random(&sys.grid, 4, 3);
         let st = TdState {
             phi,

@@ -24,6 +24,11 @@ pub struct StepStats {
     pub converged: bool,
     /// Final density residual (relative L1).
     pub residual: f64,
+    /// Total occupation weight dropped by Fock screening across the
+    /// step's exchange evaluations (Σ of
+    /// [`FockApplyStats::skipped_weight`](pwdft::FockApplyStats) — the
+    /// error-bound handle of DESIGN.md §3; 0 at the default cutoff).
+    pub fock_skipped_weight: f64,
 }
 
 /// The midpoint `(Φ, σ)` of two states (Eq. 4), on the process default
@@ -130,7 +135,7 @@ mod tests {
     fn pt_update_preserves_sigma_trace_and_hermiticity() {
         let (sys, st) = fixture();
         let eng =
-            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let ev = eng.eval(&st.phi, &st.sigma, 0.0);
         let h = eng.hamiltonian_dense(&ev);
         let (_, sigma_next) = pt_update(&st, &h, &st.phi, &st.sigma, 0.1);
@@ -148,7 +153,7 @@ mod tests {
         // orbital update vanishes (this is the "slowest gauge" property).
         let (sys, st) = fixture();
         let eng =
-            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let ev = eng.eval(&st.phi, &st.sigma, 0.0);
         let h = eng.hamiltonian_dense(&ev);
         let (phi_next, _) = pt_update(&st, &h, &st.phi, &st.sigma, 0.05);

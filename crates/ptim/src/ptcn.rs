@@ -157,7 +157,7 @@ mod tests {
     fn ptcn_conserves_energy_pure_state_field_free() {
         let (sys, st) = fixture(&[1.0, 1.0, 1.0]);
         let eng =
-            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let e0 = eng.total_energy(&st).total();
         let mut s = st;
         let cfg = PtcnConfig { dt: 0.5, ..Default::default() };
@@ -177,7 +177,7 @@ mod tests {
         // integrate the same flow (both are second-order symmetric).
         let (sys, st) = fixture(&[1.0, 1.0, 1.0]);
         let laser = LaserPulse { e0: 0.02, omega: 0.1, t_center: 4.0, t_width: 4.0 };
-        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1 });
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let dt = 0.5;
         let n = 4;
 
@@ -217,7 +217,7 @@ mod tests {
         let occ = [1.0, 0.7, 0.4, 0.15];
         let (sys, st) = fixture(&occ);
         let laser = LaserPulse { e0: 0.05, omega: 0.1, t_center: 4.0, t_width: 4.0 };
-        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1 });
+        let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let dt = 1.0;
         let n = 4;
 

@@ -111,7 +111,7 @@ mod tests {
         phi.orthonormalize_lowdin();
         let sigma = CMat::from_real_diag(&[1.0, 0.6, 0.4]);
         let st = TdState { phi, sigma, time: 0.0 };
-        (sys, st, HybridParams { alpha, omega: 0.2 })
+        (sys, st, HybridParams { alpha, omega: 0.2, ..Default::default() })
     }
 
     #[test]

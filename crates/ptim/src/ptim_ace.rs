@@ -61,8 +61,9 @@ pub fn ptim_ace_step(
     let mut stats = StepStats::default();
 
     // ACE at t_n (one Fock build), used for the predictor step.
-    let (w_n, _ex_n) = eng.exchange_images(&state.phi, &state.sigma);
+    let (w_n, _ex_n, fstats) = eng.exchange_images_stats(&state.phi, &state.sigma);
     stats.fock_applies += 1;
+    stats.fock_skipped_weight += fstats.skipped_weight;
     let ace_n = AceOperator::build_with(eng.backend.clone(), &state.phi, &w_n);
     let ev_n = eng.eval(&state.phi, &state.sigma, state.time);
     let h_n = eng.hamiltonian_ace(&ev_n, ace_n);
@@ -76,8 +77,9 @@ pub fn ptim_ace_step(
         // Rebuild the midpoint ACE operator from the current iterate
         // (one Fock build per outer iteration).
         let (phi_mid0, sigma_mid0) = midpoint_with(&*eng.backend, state, &next);
-        let (w_mid, ex_mid) = eng.exchange_images(&phi_mid0, &sigma_mid0);
+        let (w_mid, ex_mid, fstats) = eng.exchange_images_stats(&phi_mid0, &sigma_mid0);
         stats.fock_applies += 1;
+        stats.fock_skipped_weight += fstats.skipped_weight;
         let ace_mid = AceOperator::build_with(eng.backend.clone(), &phi_mid0, &w_mid);
 
         // Outer convergence on the exchange energy (Fig. 4b decision).
@@ -129,7 +131,7 @@ mod tests {
         let mut phi = Wavefunction::random(&sys.grid, 3, 71);
         phi.orthonormalize_lowdin();
         let sigma = CMat::from_real_diag(&[1.0, 0.6, 0.3]);
-        (sys, TdState { phi, sigma, time: 0.0 }, HybridParams { alpha: 0.25, omega: 0.2 })
+        (sys, TdState { phi, sigma, time: 0.0 }, HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() })
     }
 
     #[test]

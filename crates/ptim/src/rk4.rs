@@ -70,7 +70,7 @@ pub fn rk4_step(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, S
     let fock = if eng.hybrid.alpha != 0.0 { 4 } else { 0 };
     (
         TdState { phi: phi_next, sigma: state.sigma.clone(), time: t + dt },
-        StepStats { scf_iters: 0, outer_iters: 0, fock_applies: fock, converged: true, residual: 0.0 },
+        StepStats { fock_applies: fock, converged: true, ..Default::default() },
     )
 }
 
@@ -95,7 +95,7 @@ mod tests {
     fn rk4_preserves_orthonormality_and_charge() {
         let (sys, st) = fixture();
         let eng =
-            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let cfg = Rk4Config { dt: 0.02 };
         let mut s = st;
         for _ in 0..10 {
@@ -111,7 +111,7 @@ mod tests {
     fn rk4_energy_conservation_field_free() {
         let (sys, st) = fixture();
         let eng =
-            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+            TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let e0 = eng.total_energy(&st).total();
         let cfg = Rk4Config { dt: 0.02 };
         let mut s = st;
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn rk4_counts_fock_in_hybrid_mode() {
         let (sys, st) = fixture();
-        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.25, omega: 0.2 });
+        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() });
         let (_, stats) = rk4_step(&eng, &st, &Rk4Config { dt: 0.01 });
         assert_eq!(stats.fock_applies, 4);
     }

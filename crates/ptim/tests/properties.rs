@@ -58,7 +58,7 @@ proptest! {
         phi.orthonormalize_lowdin();
         let sigma = make_sigma(3, &raw);
         let st = TdState { phi, sigma, time: 0.0 };
-        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1 });
+        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.1, ..Default::default() });
         let ev = eng.eval(&st.phi, &st.sigma, 0.0);
         let h = eng.hamiltonian_dense(&ev);
         let (phi_next, sigma_next) = pt_update(&st, &h, &st.phi, &st.sigma, dt);
@@ -113,7 +113,7 @@ proptest! {
         phi.orthonormalize_lowdin();
         let sigma = make_sigma(3, &raw);
         let st = TdState { phi, sigma, time: 0.0 };
-        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.25, omega: 0.2 });
+        let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() });
         let e0 = eng.total_energy(&st).total();
 
         // Gauge transform: Φ' = ΦU, σ' = U^H σ U.

@@ -7,13 +7,26 @@
 //!   i.e. O(N³) FFT pairs. This is the baseline whose cost Fig. 9's "BL"
 //!   bar measures.
 //! * [`FockOperator::apply_diag`] — after the occupation-matrix
-//!   diagonalization (Eq. 13): O(N²) FFT pairs, identical result.
+//!   diagonalization (Eq. 13): O(N²) FFT pairs, identical result. When
+//!   the target block *is* the source block (ACE rebuilds,
+//!   [`FockOperator::apply_pure`], [`FockOperator::apply_mixed_diag`]),
+//!   the pair densities are Hermitian (`f_ji = conj(f_ij)`) and the real
+//!   kernel gives `W_ji = conj(W_ij)`, so a **pair-block scheduler**
+//!   solves only `i ≤ j` pairs and scatters each solution into both
+//!   target bands — half the FFT volume.
 //! * `ace::AceOperator` (separate module) — low-rank compression that
 //!   replaces the integrals with GEMMs between rebuilds.
 //!
 //! The screened interaction is `K(G) = 4π/G² (1 - e^{-G²/4ω²})` (HSE-type
 //! short-range kernel) with the finite limit `K(0) = π/ω²` — which also
 //! removes the Γ-point divergence.
+//!
+//! Finite temperature adds a second lever: Fermi–Dirac weights decay
+//! exponentially above μ, so high-lying bands carry negligible
+//! occupation. [`FockOptions::occ_cutoff`] screens contributions whose
+//! driving weight falls below the threshold, and
+//! [`FockApplyStats::skipped_weight`] reports the total dropped weight so
+//! callers can bound the error (see DESIGN.md §"Exchange").
 
 use crate::gvec::PwGrid;
 use pwfft::Fft3;
@@ -22,34 +35,87 @@ use pwnum::bands;
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
 use pwnum::cvec;
+use std::sync::Arc;
 
 /// HSE06 screening parameter (bohr⁻¹).
 pub const HSE_OMEGA: f64 = 0.106;
 
+/// Default occupation cutoff: contributions whose Fermi–Dirac weight
+/// falls below this are dropped. Shared by the SCF and TD paths (also
+/// re-exported as [`crate::smearing::DEFAULT_OCC_CUTOFF`]); at this
+/// threshold only numerically-zero occupations are screened, so results
+/// are unchanged to machine precision.
+pub const DEFAULT_OCC_CUTOFF: f64 = 1e-14;
+
+/// Tunable knobs of the Fock pair-block scheduler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FockOptions {
+    /// Occupation screening threshold: a pair contribution driven by
+    /// weight `d` is dropped when `|d| < occ_cutoff`, and a pair solve is
+    /// skipped entirely when both of its contributions are dropped. The
+    /// resulting error is bounded by the reported
+    /// [`FockApplyStats::skipped_weight`] (times `max_G K(G)·‖φ‖²_∞`).
+    pub occ_cutoff: f64,
+    /// Pairs per scheduler tile: one batched Poisson solve handles up to
+    /// this many pair densities, and scratch is bounded by
+    /// `tile_bands · Ng` instead of `n_occ · Ng`.
+    pub tile_bands: usize,
+}
+
+impl Default for FockOptions {
+    fn default() -> Self {
+        FockOptions { occ_cutoff: DEFAULT_OCC_CUTOFF, tile_bands: 32 }
+    }
+}
+
+/// What one exchange application actually did — FFT volume and screening
+/// effect, for perf accounting and error control.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FockApplyStats {
+    /// Screened Poisson solves performed (pair grids transformed; each
+    /// costs one forward + one inverse 3-D FFT).
+    pub solves: usize,
+    /// Weighted scatter contributions accumulated into target bands.
+    pub contributions: usize,
+    /// Pair solves dropped by occupation screening.
+    pub skipped_pairs: usize,
+    /// Total `Σ |d|` over all screened-out contributions — the error
+    /// bound handle.
+    pub skipped_weight: f64,
+    /// Whether the Hermitian pair-symmetric path was taken.
+    pub symmetric: bool,
+}
+
 /// Screened-exchange kernel sampled on a grid's G vectors.
 #[derive(Clone, Debug)]
 pub struct ScreenedKernel {
-    /// `K(G)` per grid point.
-    pub kg: Vec<f64>,
+    /// `K(G)` per grid point (shared with the grid's kernel cache).
+    pub kg: Arc<Vec<f64>>,
     /// Screening parameter ω (bohr⁻¹).
     pub omega: f64,
 }
 
+/// The [`PwGrid::cached_kernel`] family tag of the HSE short-range
+/// kernel (any distinct constant per kernel formula).
+const HSE_KERNEL_FAMILY: u64 = 0x0048_5345_6b65_726e; // "HSEkern"
+
 impl ScreenedKernel {
-    /// Builds the short-range (erfc-type) kernel for `grid`.
+    /// Builds the short-range (erfc-type) kernel for `grid`, memoized per
+    /// `(grid, ω)` in the grid's kernel cache so hot loops that construct
+    /// a [`FockOperator`] per step stop re-evaluating `exp` over Ng.
     pub fn hse(grid: &PwGrid, omega: f64) -> Self {
-        let four_pi = 4.0 * std::f64::consts::PI;
-        let kg = grid
-            .g2
-            .iter()
-            .map(|&g2| {
-                if g2 < 1e-12 {
-                    std::f64::consts::PI / (omega * omega)
-                } else {
-                    four_pi / g2 * (1.0 - (-g2 / (4.0 * omega * omega)).exp())
-                }
-            })
-            .collect();
+        let kg = grid.cached_kernel(HSE_KERNEL_FAMILY, omega.to_bits(), |g| {
+            let four_pi = 4.0 * std::f64::consts::PI;
+            g.g2.iter()
+                .map(|&g2| {
+                    if g2 < 1e-12 {
+                        std::f64::consts::PI / (omega * omega)
+                    } else {
+                        four_pi / g2 * (1.0 - (-g2 / (4.0 * omega * omega)).exp())
+                    }
+                })
+                .collect()
+        });
         ScreenedKernel { kg, omega }
     }
 }
@@ -64,22 +130,36 @@ pub struct FockOperator<'g> {
     fft: Fft3,
     kernel: ScreenedKernel,
     backend: BackendHandle,
+    opts: FockOptions,
 }
 
 impl<'g> FockOperator<'g> {
     /// Creates the operator with an HSE-type kernel of parameter `omega`
-    /// on the process default backend.
+    /// on the process default backend and default [`FockOptions`].
     pub fn new(grid: &'g PwGrid, omega: f64) -> Self {
         Self::with_backend(grid, omega, default_backend().clone())
     }
 
-    /// Creates the operator on an explicit compute backend.
+    /// Creates the operator on an explicit compute backend with default
+    /// [`FockOptions`].
     pub fn with_backend(grid: &'g PwGrid, omega: f64, backend: BackendHandle) -> Self {
+        Self::with_options(grid, omega, backend, FockOptions::default())
+    }
+
+    /// Creates the operator with explicit backend and scheduler options.
+    pub fn with_options(
+        grid: &'g PwGrid,
+        omega: f64,
+        backend: BackendHandle,
+        opts: FockOptions,
+    ) -> Self {
+        assert!(opts.tile_bands > 0, "FockOptions::tile_bands must be positive");
         FockOperator {
             grid,
             fft: grid.fft(),
             kernel: ScreenedKernel::hse(grid, omega),
             backend,
+            opts,
         }
     }
 
@@ -95,14 +175,18 @@ impl<'g> FockOperator<'g> {
         &self.backend
     }
 
+    /// The scheduler options the operator was built with.
+    #[inline]
+    pub fn options(&self) -> &FockOptions {
+        &self.opts
+    }
+
     /// Solves the screened Poisson problem for a *batch* of pair
     /// densities in place: `W(r) = Σ_G K(G) f_G e^{iGr}` per grid
-    /// (batched forward FFT → fused kernel multiply → batched inverse).
+    /// (batched forward FFT → fused kernel multiply → batched inverse,
+    /// one filtered round trip over the tile arena).
     fn poisson_batch(&self, pairs: &mut [Complex64], count: usize) {
-        let be = &*self.backend;
-        self.fft.forward_many_with(be, pairs, count);
-        be.scale_by_real(&self.kernel.kg, pairs);
-        self.fft.inverse_many_with(be, pairs, count);
+        self.fft.convolve_many_with(&*self.backend, pairs, count, &self.kernel.kg);
     }
 
     /// Paper Alg. 2 — the mixed-state baseline. `phi_r` are the N orbitals
@@ -144,56 +228,226 @@ impl<'g> FockOperator<'g> {
     /// Diagonalized mixed-state operator (Eq. 13): orbitals `phi_r` must
     /// already be the *natural orbitals* `φ̃ = ΦQ` in real space, with
     /// occupations `d`. Applies Vx to the bands `psi_r` (often the same
-    /// block, but PT-IM also applies it to trial vectors). O(N²) FFT
-    /// pairs, executed as one batched Poisson solve over all occupied
-    /// source bands per target band — the paper's multi-batch strategy
-    /// (Sec. III-B b) — with pooled, allocation-free pair buffers.
+    /// block, but PT-IM also applies it to trial vectors).
+    ///
+    /// When `psi_r` *aliases* `phi_r` (ACE rebuilds, [`Self::apply_pure`],
+    /// [`Self::apply_mixed_diag`]) the Hermitian pair-symmetric scheduler
+    /// runs — `i ≤ j` pairs only, ~half the Poisson solves; otherwise the
+    /// asymmetric per-target batch path. Both are tiled to
+    /// [`FockOptions::tile_bands`] pairs per batched solve with one
+    /// pooled, allocation-free tile arena, and screened by
+    /// [`FockOptions::occ_cutoff`].
     pub fn apply_diag(
         &self,
         phi_r: &[Complex64],
         d: &[f64],
         psi_r: &[Complex64],
     ) -> Vec<Complex64> {
+        self.apply_diag_stats(phi_r, d, psi_r).0
+    }
+
+    /// [`Self::apply_diag`] also returning the scheduler's
+    /// [`FockApplyStats`] (solve count, screening effect).
+    pub fn apply_diag_stats(
+        &self,
+        phi_r: &[Complex64],
+        d: &[f64],
+        psi_r: &[Complex64],
+    ) -> (Vec<Complex64>, FockApplyStats) {
+        let symmetric =
+            phi_r.as_ptr() == psi_r.as_ptr() && phi_r.len() == psi_r.len();
+        if symmetric {
+            self.apply_pair_symmetric(phi_r, d)
+        } else {
+            self.apply_asymmetric(phi_r, d, psi_r)
+        }
+    }
+
+    /// The Hermitian pair-symmetric scheduler (targets = sources): with a
+    /// real kernel, `W_ji = conj(W_ij)`, so each `i ≤ j` pair is solved
+    /// once and scattered into both accumulators —
+    /// `out_j += -d_i·W_ij⊙φ_i` and, for `i ≠ j`,
+    /// `out_i += -d_j·conj(W_ij)⊙φ_j`. Contributions are screened per
+    /// driving weight; a pair whose both sides are screened is never
+    /// solved.
+    fn apply_pair_symmetric(
+        &self,
+        phi_r: &[Complex64],
+        d: &[f64],
+    ) -> (Vec<Complex64>, FockApplyStats) {
+        let ng = self.ng();
+        let n = bands::n_bands(phi_r, ng);
+        assert_eq!(d.len(), n);
+        let mut out = vec![Complex64::ZERO; n * ng];
+        let mut stats = FockApplyStats { symmetric: true, ..Default::default() };
+        let cutoff = self.opts.occ_cutoff;
+        // Enumerate surviving pairs. Lexicographic (i, j) order means
+        // every target still accumulates its sources in ascending band
+        // order, matching the asymmetric path's summation order.
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n * (n + 1) / 2);
+        for i in 0..n {
+            let fwd = d[i].abs() >= cutoff; // drives out_j
+            for j in i..n {
+                let rev = i != j && d[j].abs() >= cutoff; // drives out_i
+                if fwd || rev {
+                    pairs.push((i as u32, j as u32));
+                    if !fwd {
+                        stats.skipped_weight += d[i].abs();
+                    }
+                    if i != j && !rev {
+                        stats.skipped_weight += d[j].abs();
+                    }
+                } else {
+                    stats.skipped_pairs += 1;
+                    stats.skipped_weight +=
+                        d[i].abs() + if i != j { d[j].abs() } else { 0.0 };
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return (out, stats);
+        }
+        let be = &*self.backend;
+        let tile = self.opts.tile_bands.min(pairs.len());
+        // One pooled tile arena for the whole apply (contents
+        // unspecified: hadamard_conj fully writes each pair grid before
+        // the solve reads it).
+        let mut arena = be.take_scratch(tile * ng);
+        for chunk in pairs.chunks(tile) {
+            let m = chunk.len();
+            for (s, &(i, j)) in chunk.iter().enumerate() {
+                be.hadamard_conj(
+                    bands::band(phi_r, ng, i as usize),
+                    bands::band(phi_r, ng, j as usize),
+                    bands::band_mut(&mut arena, ng, s),
+                );
+            }
+            self.poisson_batch(&mut arena[..m * ng], m);
+            stats.solves += m;
+            for (s, &(i, j)) in chunk.iter().enumerate() {
+                let (i, j) = (i as usize, j as usize);
+                if d[i].abs() >= cutoff {
+                    be.hadamard_acc(
+                        Complex64::from_re(-d[i]),
+                        bands::band(&arena, ng, s),
+                        bands::band(phi_r, ng, i),
+                        bands::band_mut(&mut out, ng, j),
+                    );
+                    stats.contributions += 1;
+                }
+                if i != j && d[j].abs() >= cutoff {
+                    be.hadamard_acc_conj(
+                        Complex64::from_re(-d[j]),
+                        bands::band(&arena, ng, s),
+                        bands::band(phi_r, ng, j),
+                        bands::band_mut(&mut out, ng, i),
+                    );
+                    stats.contributions += 1;
+                }
+            }
+        }
+        be.recycle_buffer(arena);
+        (out, stats)
+    }
+
+    /// The asymmetric path (distinct target block): one batched Poisson
+    /// solve per target band over the occupied sources — the paper's
+    /// multi-batch strategy (Sec. III-B b) — tiled so scratch is bounded
+    /// by the tile size instead of `n_occ · Ng`.
+    fn apply_asymmetric(
+        &self,
+        phi_r: &[Complex64],
+        d: &[f64],
+        psi_r: &[Complex64],
+    ) -> (Vec<Complex64>, FockApplyStats) {
         let ng = self.ng();
         let n_src = bands::n_bands(phi_r, ng);
         assert_eq!(d.len(), n_src);
         let n_tgt = bands::n_bands(psi_r, ng);
         let mut out = vec![Complex64::ZERO; n_tgt * ng];
-        // Occupied source bands only: empty bands contribute nothing.
-        let occ: Vec<usize> = (0..n_src).filter(|&i| d[i].abs() >= 1e-14).collect();
-        if occ.is_empty() {
-            return out;
+        let mut stats = FockApplyStats::default();
+        let cutoff = self.opts.occ_cutoff;
+        // Occupied source bands only: screened bands are dropped for
+        // every target, and their weight reported once per contribution.
+        let occ: Vec<usize> = (0..n_src).filter(|&i| d[i].abs() >= cutoff).collect();
+        let screened: f64 =
+            (0..n_src).filter(|&i| d[i].abs() < cutoff).map(|i| d[i].abs()).sum();
+        stats.skipped_pairs = (n_src - occ.len()) * n_tgt;
+        stats.skipped_weight = screened * n_tgt as f64;
+        if occ.is_empty() || n_tgt == 0 {
+            return (out, stats);
         }
         let be = &*self.backend;
-        // Scratch contents are unspecified: every pair grid is fully
-        // written by hadamard_conj before the Poisson solve reads it.
-        let mut pairs = be.take_scratch(occ.len() * ng);
+        let tile = self.opts.tile_bands.min(occ.len());
+        let mut arena = be.take_scratch(tile * ng);
         for j in 0..n_tgt {
             let pj = bands::band(psi_r, ng, j);
-            for (s, &i) in occ.iter().enumerate() {
-                let pi = bands::band(phi_r, ng, i);
-                be.hadamard_conj(pi, pj, bands::band_mut(&mut pairs, ng, s));
-            }
-            self.poisson_batch(&mut pairs, occ.len());
-            let oj = bands::band_mut(&mut out, ng, j);
-            for (s, &i) in occ.iter().enumerate() {
-                let pi = bands::band(phi_r, ng, i);
-                be.hadamard_acc(
-                    Complex64::from_re(-d[i]),
-                    bands::band(&pairs, ng, s),
-                    pi,
-                    oj,
-                );
+            for chunk in occ.chunks(tile) {
+                let m = chunk.len();
+                for (s, &i) in chunk.iter().enumerate() {
+                    be.hadamard_conj(
+                        bands::band(phi_r, ng, i),
+                        pj,
+                        bands::band_mut(&mut arena, ng, s),
+                    );
+                }
+                self.poisson_batch(&mut arena[..m * ng], m);
+                stats.solves += m;
+                let oj = bands::band_mut(&mut out, ng, j);
+                for (s, &i) in chunk.iter().enumerate() {
+                    be.hadamard_acc(
+                        Complex64::from_re(-d[i]),
+                        bands::band(&arena, ng, s),
+                        bands::band(phi_r, ng, i),
+                        oj,
+                    );
+                    stats.contributions += 1;
+                }
             }
         }
-        be.recycle_buffer(pairs);
-        out
+        be.recycle_buffer(arena);
+        (out, stats)
     }
 
     /// Pure-state operator (Eq. 9): occupations `f` on the orbitals
-    /// themselves. Same code path as [`Self::apply_diag`].
+    /// themselves. Aliased targets, so this always takes the
+    /// pair-symmetric scheduler.
     pub fn apply_pure(&self, phi_r: &[Complex64], f: &[f64]) -> Vec<Complex64> {
         self.apply_diag(phi_r, f, phi_r)
+    }
+
+    /// [`Self::apply_pure`] also returning the scheduler stats.
+    pub fn apply_pure_stats(
+        &self,
+        phi_r: &[Complex64],
+        f: &[f64],
+    ) -> (Vec<Complex64>, FockApplyStats) {
+        self.apply_diag_stats(phi_r, f, phi_r)
+    }
+
+    /// Mixed-state operator on the orbitals themselves, via the σ
+    /// diagonalization *and* the pair-symmetric scheduler: diagonalizes
+    /// `σ = Q D Qᴴ`, rotates to natural orbitals in real space, runs the
+    /// symmetric apply, and rotates back (`Vx Φ = (Vx Φ̃) Qᴴ` by
+    /// linearity). Equivalent to [`Self::apply_mixed_baseline`] at
+    /// ~N(N+1)/2 Poisson solves instead of O(N³).
+    pub fn apply_mixed_diag(
+        &self,
+        phi_r: &[Complex64],
+        sigma: &CMat,
+    ) -> (Vec<Complex64>, FockApplyStats) {
+        let ng = self.ng();
+        let n = bands::n_bands(phi_r, ng);
+        assert_eq!(sigma.rows(), n);
+        let be = &*self.backend;
+        let e = pwnum::eigh(sigma);
+        let mut nat_r = be.take_scratch(n * ng);
+        be.rotate(phi_r, &e.vectors, ng, &mut nat_r);
+        let (vx_nat, stats) = self.apply_pure_stats(&nat_r, &e.values);
+        let mut out = vec![Complex64::ZERO; n * ng];
+        be.rotate(&vx_nat, &e.vectors.herm(), ng, &mut out);
+        be.recycle_buffer(nat_r);
+        (out, stats)
     }
 
     /// One weighted pair contribution — the innermost kernel the
@@ -215,6 +469,29 @@ impl<'g> FockOperator<'g> {
         be.hadamard_acc(Complex64::from_re(-weight), pair, src, out);
     }
 
+    /// The pair-symmetric twin of [`Self::accumulate_pair`] for the
+    /// distributed diagonal-block halving: one Poisson solve of
+    /// `W = Poisson[conj(φ_i) ⊙ φ_j]` scattered into both targets —
+    /// `out_j -= w_i · W ⊙ φ_i` and `out_i -= w_j · conj(W) ⊙ φ_j`.
+    /// `pair` is caller-provided scratch of length Ng.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_pair_sym(
+        &self,
+        src_i: &[Complex64],
+        src_j: &[Complex64],
+        w_i: f64,
+        w_j: f64,
+        out_j: &mut [Complex64],
+        out_i: &mut [Complex64],
+        pair: &mut [Complex64],
+    ) {
+        let be = &*self.backend;
+        be.hadamard_conj(src_i, src_j, pair);
+        self.poisson_batch(pair, 1);
+        be.hadamard_acc(Complex64::from_re(-w_i), pair, src_i, out_j);
+        be.hadamard_acc_conj(Complex64::from_re(-w_j), pair, src_j, out_i);
+    }
+
     /// Exchange energy `E_x = Σ_i d_i <φ̃_i|Vx|φ̃_i>` (real, ≤ 0), given
     /// natural orbitals in real space, their occupations, and `VxΦ̃` from
     /// [`Self::apply_diag`]. `dv` is the grid quadrature weight.
@@ -229,7 +506,7 @@ impl<'g> FockOperator<'g> {
         let n = bands::n_bands(phi_r, ng);
         let mut e = 0.0;
         for (i, &di) in d.iter().enumerate().take(n) {
-            if di.abs() < 1e-14 {
+            if di.abs() < self.opts.occ_cutoff {
                 continue;
             }
             let pi = bands::band(phi_r, ng, i);
@@ -341,6 +618,109 @@ mod tests {
                 assert!((lhs - rhs).abs() < 1e-9, "Hermiticity ({a},{b})");
             }
         }
+    }
+
+    #[test]
+    fn pair_symmetric_matches_asymmetric_path() {
+        // Aliased targets take the halved scheduler; a *copied* target
+        // block forces the asymmetric path. Same math, ~half the solves.
+        let (grid, fft, wf) = setup(5);
+        let fock = FockOperator::new(&grid, 0.18);
+        let d = vec![1.0, 0.9, 0.5, 0.5, 0.0];
+        let phi_r = wf.to_real_all(&fft);
+        let psi_copy = phi_r.clone();
+        let (sym, s_sym) = fock.apply_diag_stats(&phi_r, &d, &phi_r);
+        let (asym, s_asym) = fock.apply_diag_stats(&phi_r, &d, &psi_copy);
+        assert!(s_sym.symmetric && !s_asym.symmetric);
+        // 4 occupied sources × 5 targets = 20 vs pairs with either side
+        // occupied: all (i,j≥i) except (4,4) = 15 − 1 = 14.
+        assert_eq!(s_asym.solves, 20);
+        assert_eq!(s_sym.solves, 14);
+        let scale = asym.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let diff = pwnum::cvec::max_abs_diff(&sym, &asym);
+        assert!(diff < 1e-10 * scale.max(1.0), "pairsym diff {diff} (scale {scale})");
+    }
+
+    #[test]
+    fn mixed_diag_matches_baseline() {
+        // apply_mixed_diag (σ-diagonalized + pair-symmetric + rotate
+        // back) reproduces Alg. 2 on the original orbitals.
+        let (_, fft, wf) = setup(4);
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let grid = PwGrid::with_dims(&cell, 2.0, [6, 6, 6]);
+        let fock = FockOperator::new(&grid, 0.2);
+        let sigma = test_sigma(4, 11);
+        let phi_r = wf.to_real_all(&fft);
+        let base = fock.apply_mixed_baseline(&phi_r, &sigma);
+        let (diag, stats) = fock.apply_mixed_diag(&phi_r, &sigma);
+        assert!(stats.symmetric);
+        assert_eq!(stats.solves, 4 * 5 / 2);
+        let scale = base.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let diff = pwnum::cvec::max_abs_diff(&base, &diag);
+        assert!(diff < 1e-9 * scale.max(1.0), "mixed diag diff {diff}");
+    }
+
+    #[test]
+    fn tiny_tiles_do_not_change_results() {
+        // tile_bands bounds scratch, never results: a 1-pair tile must
+        // reproduce the full-batch result bitwise (identical per-grid
+        // FFTs and accumulation order).
+        let (grid, fft, wf) = setup(4);
+        let d = vec![1.0, 0.8, 0.4, 0.1];
+        let phi_r = wf.to_real_all(&fft);
+        let be = pwnum::backend::default_backend().clone();
+        let wide = FockOperator::with_options(
+            &grid,
+            0.2,
+            be.clone(),
+            FockOptions { tile_bands: 64, ..Default::default() },
+        );
+        let narrow = FockOperator::with_options(
+            &grid,
+            0.2,
+            be,
+            FockOptions { tile_bands: 1, ..Default::default() },
+        );
+        let a = wide.apply_pure(&phi_r, &d);
+        let b = narrow.apply_pure(&phi_r, &d);
+        assert_eq!(pwnum::cvec::max_abs_diff(&a, &b), 0.0);
+        let psi = phi_r.clone();
+        let a = wide.apply_diag(&phi_r, &d, &psi);
+        let b = narrow.apply_diag(&phi_r, &d, &psi);
+        assert_eq!(pwnum::cvec::max_abs_diff(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn screening_reports_skipped_weight() {
+        let (grid, fft, wf) = setup(4);
+        let fft_ = fft;
+        let phi_r = wf.to_real_all(&fft_);
+        let d = vec![1.0, 0.5, 1e-3, 1e-3];
+        let be = pwnum::backend::default_backend().clone();
+        let screened = FockOperator::with_options(
+            &grid,
+            0.2,
+            be.clone(),
+            FockOptions { occ_cutoff: 1e-2, tile_bands: 32 },
+        );
+        let exact = FockOperator::with_options(
+            &grid,
+            0.2,
+            be,
+            FockOptions { occ_cutoff: 0.0, tile_bands: 32 },
+        );
+        let (vs, ss) = screened.apply_pure_stats(&phi_r, &d);
+        let (ve, se) = exact.apply_pure_stats(&phi_r, &d);
+        // Pairs among the two screened bands are skipped entirely.
+        assert_eq!(ss.skipped_pairs, 3);
+        assert!(ss.solves < se.solves);
+        assert_eq!(se.skipped_weight, 0.0);
+        // The dropped weight is reported: 2e-3 per screened contribution.
+        assert!(ss.skipped_weight > 0.0);
+        // And the induced error is small (weights were tiny) but nonzero.
+        let diff = pwnum::cvec::max_abs_diff(&vs, &ve);
+        let scale = ve.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        assert!(diff > 0.0 && diff < 1e-1 * scale, "screening error {diff} vs {scale}");
     }
 
     #[test]

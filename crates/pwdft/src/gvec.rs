@@ -10,6 +10,12 @@
 use crate::lattice::Cell;
 use pwfft::Fft3;
 use pwnum::complex::Complex64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared memoization table of grid-sized real kernels, keyed by
+/// `(kernel family, parameter bits)`.
+type KernelCache = Arc<Mutex<HashMap<(u64, u64), Arc<Vec<f64>>>>>;
 
 /// Real/reciprocal grid pair for one cell.
 #[derive(Clone, Debug)]
@@ -28,6 +34,12 @@ pub struct PwGrid {
     pub n_pw: usize,
     /// Kinetic cutoff (hartree).
     pub ecut: f64,
+    /// Memoized grid-sized real kernels (e.g. the screened-exchange
+    /// `K(G)`), keyed by `(kernel family, parameter bits)`. Shared
+    /// across clones (the G data is immutable), so hot loops that
+    /// construct an operator per step stop re-evaluating
+    /// transcendentals over Ng.
+    kernels: KernelCache,
 }
 
 /// Picks an FFT-friendly (2/3/5-smooth) grid size ≥ `min`.
@@ -94,7 +106,46 @@ impl PwGrid {
                 }
             }
         }
-        PwGrid { dims, lengths: cell.lengths, g2, gvec, mask, n_pw, ecut }
+        PwGrid {
+            dims,
+            lengths: cell.lengths,
+            g2,
+            gvec,
+            mask,
+            n_pw,
+            ecut,
+            kernels: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Returns the grid-sized real kernel registered under
+    /// `(family, param)`, building it with `build` on the first request —
+    /// the per-grid analog of an FFT plan cache. `family` names the
+    /// kernel *formula* (each caller picks a distinct constant, so two
+    /// kernel types with coinciding parameter bits never share an
+    /// entry); `param` encodes every parameter the formula depends on
+    /// besides the grid itself (e.g. `omega.to_bits()`). Clones of the
+    /// grid share one cache.
+    pub fn cached_kernel(
+        &self,
+        family: u64,
+        param: u64,
+        build: impl FnOnce(&PwGrid) -> Vec<f64>,
+    ) -> Arc<Vec<f64>> {
+        let key = (family, param);
+        if let Some(k) = self.kernels.lock().expect("kernel cache poisoned").get(&key) {
+            return k.clone();
+        }
+        // Build outside the lock: kernel evaluation is O(Ng) with
+        // transcendentals, and a racing builder at worst duplicates work.
+        let built = Arc::new(build(self));
+        assert_eq!(built.len(), self.len(), "cached kernel must be grid-sized");
+        self.kernels
+            .lock()
+            .expect("kernel cache poisoned")
+            .entry(key)
+            .or_insert(built)
+            .clone()
     }
 
     /// Number of grid points Ng.
@@ -249,6 +300,31 @@ mod tests {
             assert!(rlast[d] < cell.lengths[d]);
             assert!(rlast[d] > 0.5 * cell.lengths[d]);
         }
+    }
+
+    #[test]
+    fn kernel_cache_memoizes_per_key_and_shares_across_clones() {
+        let cell = Cell::silicon_supercell(1, 1, 1);
+        let g = PwGrid::with_dims(&cell, 2.0, [4, 4, 4]);
+        let builds = std::cell::Cell::new(0usize);
+        let build = |grid: &PwGrid| {
+            builds.set(builds.get() + 1);
+            grid.g2.iter().map(|&x| x + 1.0).collect::<Vec<f64>>()
+        };
+        let a = g.cached_kernel(1, 7, build);
+        let b = g.cached_kernel(1, 7, build);
+        assert!(Arc::ptr_eq(&a, &b), "same key must return the memoized kernel");
+        assert_eq!(builds.get(), 1, "second lookup must not rebuild");
+        let c = g.cached_kernel(1, 8, build);
+        assert!(!Arc::ptr_eq(&a, &c), "different params are distinct kernels");
+        // Same parameter bits under another kernel family: its own entry.
+        let f = g.cached_kernel(2, 7, build);
+        assert!(!Arc::ptr_eq(&a, &f), "families must not share entries");
+        // Clones share the cache (same immutable G data).
+        let g2 = g.clone();
+        let d = g2.cached_kernel(1, 7, build);
+        assert!(Arc::ptr_eq(&a, &d));
+        assert_eq!(builds.get(), 3);
     }
 
     #[test]

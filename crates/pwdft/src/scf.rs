@@ -17,7 +17,7 @@ use crate::ace::AceOperator;
 use crate::davidson::davidson;
 use crate::density::{density_diag, electron_count};
 use crate::energy::{kinetic_energy, EnergyBreakdown};
-use crate::fock::FockOperator;
+use crate::fock::{FockOperator, FockOptions};
 use crate::hamiltonian::{build_hxc, Exchange, Hamiltonian};
 use crate::mixing::AndersonMixerReal;
 use crate::smearing::{occupations, KB_HARTREE};
@@ -74,11 +74,19 @@ pub struct HybridConfig {
     pub outer_iters: usize,
     /// Exchange-energy convergence threshold between outers.
     pub tol_ex: f64,
+    /// Fock pair-block scheduler options (screening cutoff, tile size).
+    pub fock: FockOptions,
 }
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { alpha: 0.25, omega: crate::fock::HSE_OMEGA, outer_iters: 5, tol_ex: 1e-6 }
+        HybridConfig {
+            alpha: 0.25,
+            omega: crate::fock::HSE_OMEGA,
+            outer_iters: 5,
+            tol_ex: 1e-6,
+            fock: FockOptions::default(),
+        }
     }
 }
 
@@ -100,6 +108,12 @@ pub struct GroundState {
     pub iterations: usize,
     /// Final density residual.
     pub rho_residual: f64,
+    /// Total occupation weight dropped by Fock screening across the
+    /// hybrid stage's exchange rebuilds
+    /// ([`crate::fock::FockApplyStats::skipped_weight`] summed over
+    /// outers — the screening error-bound handle; 0 for LDA and at the
+    /// default cutoff).
+    pub fock_skipped_weight: f64,
 }
 
 fn assemble_energies(
@@ -188,7 +202,17 @@ pub fn scf_lda(sys: &DftSystem, cfg: &ScfConfig) -> GroundState {
     }
 
     let energies = assemble_energies(sys, &phi, &occ, &rho, last_hxc.e_hartree, last_hxc.e_xc, 0.0);
-    GroundState { phi, eigs, occ, mu, rho, energies, iterations, rho_residual: residual }
+    GroundState {
+        phi,
+        eigs,
+        occ,
+        mu,
+        rho,
+        energies,
+        iterations,
+        rho_residual: residual,
+        fock_skipped_weight: 0.0,
+    }
 }
 
 /// Hybrid-functional refinement with the ACE double loop, starting from a
@@ -202,20 +226,24 @@ pub fn scf_hybrid(
     let kt = KB_HARTREE * cfg.temperature_k;
     let ne = sys.n_electrons();
     let zeros = vec![0.0; sys.grid.len()];
-    let fock = FockOperator::new(&sys.grid, hyb.omega);
+    let fock = FockOperator::with_options(
+        &sys.grid,
+        hyb.omega,
+        pwnum::backend::default_backend().clone(),
+        hyb.fock,
+    );
 
     let mut gs = start;
     let mut last_ex = 0.0;
 
     for _outer in 0..hyb.outer_iters {
-        // Build W = VxΦ on the current orbitals (σ diagonal in the ground
-        // state, so the natural orbitals are the orbitals themselves).
-        let phi_r = gs.phi.to_real_all(&sys.fft);
-        let vx_r = fock.apply_diag(&phi_r, &gs.occ, &phi_r);
-        let ex_full = fock.exchange_energy(&phi_r, &gs.occ, &vx_r, sys.grid.dv());
-        let mut w = Wavefunction::from_real(&sys.grid, &sys.fft, vx_r);
-        w.mask(&sys.grid);
-        let ace = AceOperator::build(&gs.phi, &w);
+        // Rebuild the ACE operator on the current orbitals (σ diagonal in
+        // the ground state, so the natural orbitals are the orbitals
+        // themselves) — pair-symmetric: targets alias sources, so the
+        // scheduler solves only i ≤ j pairs.
+        let (ace, _w, ex_full, fstats) =
+            AceOperator::build_from_fock(&fock, &sys.grid, &sys.fft, &gs.phi, &gs.occ);
+        gs.fock_skipped_weight += fstats.skipped_weight;
 
         // Inner SCF with the fixed ACE operator.
         let mut mixer = AndersonMixerReal::new(cfg.mix_depth, cfg.mix_beta);

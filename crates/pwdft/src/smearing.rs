@@ -9,6 +9,12 @@
 /// Boltzmann constant in hartree/kelvin.
 pub const KB_HARTREE: f64 = 3.166_811_563e-6;
 
+/// The shared occupation cutoff below which a Fermi–Dirac weight is
+/// treated as zero by the exchange screening — re-exported here so the
+/// SCF and TD paths quote one constant (defined in [`crate::fock`],
+/// the layer that consumes it).
+pub use crate::fock::DEFAULT_OCC_CUTOFF;
+
 /// Fermi–Dirac occupation `f(ε) = 1/(1 + e^{(ε-μ)/kT})`, with the T → 0
 /// limit handled as a step function.
 #[inline]

@@ -121,6 +121,18 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     /// Weighted elementwise accumulate `acc += w · a ⊙ b`.
     fn hadamard_acc(&self, w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [Complex64]);
 
+    /// Weighted conjugated accumulate `acc += w · conj(a) ⊙ b` — the
+    /// swapped-side scatter of the pair-symmetric Fock scheduler: a real
+    /// screened kernel gives `W_ji = conj(W_ij)`, so one solved pair grid
+    /// updates both target bands, the second through this primitive.
+    fn hadamard_acc_conj(
+        &self,
+        w: Complex64,
+        a: &[Complex64],
+        b: &[Complex64],
+        acc: &mut [Complex64],
+    );
+
     /// Runs `pass` over `count` consecutive grids in `data` — the batched
     /// 3-D FFT entry point. The backend owns the batching strategy (how
     /// grids map to workers and how scratch is provisioned).
@@ -255,6 +267,16 @@ impl Backend for Reference {
 
     fn hadamard_acc(&self, w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [Complex64]) {
         cvec::hadamard_acc(w, a, b, acc);
+    }
+
+    fn hadamard_acc_conj(
+        &self,
+        w: Complex64,
+        a: &[Complex64],
+        b: &[Complex64],
+        acc: &mut [Complex64],
+    ) {
+        cvec::hadamard_acc_conj(w, a, b, acc);
     }
 
     fn transform_batch(&self, pass: &dyn GridTransform, data: &mut [Complex64], count: usize) {
@@ -637,6 +659,36 @@ impl Backend for Blocked {
 
     fn hadamard_acc(&self, w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [Complex64]) {
         cvec::hadamard_acc(w, a, b, acc);
+    }
+
+    fn hadamard_acc_conj(
+        &self,
+        w: Complex64,
+        a: &[Complex64],
+        b: &[Complex64],
+        acc: &mut [Complex64],
+    ) {
+        assert_eq!(a.len(), b.len(), "hadamard_acc_conj length mismatch");
+        assert_eq!(a.len(), acc.len(), "hadamard_acc_conj output length mismatch");
+        // 4-wide unrolled body (same per-element math as the reference
+        // kernel, so both backends are bitwise identical): four
+        // independent accumulator chains per sweep, mirroring the
+        // register blocking of `dot_block`.
+        let n = a.len();
+        let head = n - n % NB;
+        let mut l = 0;
+        while l < head {
+            let (a0, a1, a2, a3) = (a[l], a[l + 1], a[l + 2], a[l + 3]);
+            let (b0, b1, b2, b3) = (b[l], b[l + 1], b[l + 2], b[l + 3]);
+            acc[l] = (a0.conj() * b0).mul_add(w, acc[l]);
+            acc[l + 1] = (a1.conj() * b1).mul_add(w, acc[l + 1]);
+            acc[l + 2] = (a2.conj() * b2).mul_add(w, acc[l + 2]);
+            acc[l + 3] = (a3.conj() * b3).mul_add(w, acc[l + 3]);
+            l += NB;
+        }
+        for i in head..n {
+            acc[i] = (a[i].conj() * b[i]).mul_add(w, acc[i]);
+        }
     }
 
     fn transform_batch(&self, pass: &dyn GridTransform, data: &mut [Complex64], count: usize) {

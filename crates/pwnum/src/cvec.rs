@@ -113,6 +113,20 @@ pub fn hadamard_acc(w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [C
     }
 }
 
+/// `acc_i += w * conj(a_i) * b_i` — the conjugated partner of
+/// [`hadamard_acc`]: with a real screened kernel the Poisson solutions of
+/// Hermitian pair densities obey `W_ji = conj(W_ij)`, so the pair-block
+/// Fock scheduler scatters one solved `W_ij` into *both* target bands —
+/// the swapped side through this kernel.
+#[inline]
+pub fn hadamard_acc_conj(w: Complex64, a: &[Complex64], b: &[Complex64], acc: &mut [Complex64]) {
+    assert_eq!(a.len(), b.len(), "hadamard_acc_conj length mismatch");
+    assert_eq!(a.len(), acc.len(), "hadamard_acc_conj output length mismatch");
+    for ((o, ai), bi) in acc.iter_mut().zip(a).zip(b) {
+        *o = (ai.conj() * *bi).mul_add(w, *o);
+    }
+}
+
 /// Multiplies each element by a real diagonal: `x_i *= d_i`.
 #[inline]
 pub fn diag_mul(d: &[f64], x: &mut [Complex64]) {
@@ -189,6 +203,12 @@ mod tests {
         let mut acc = vec![Complex64::ZERO; 2];
         hadamard_acc(c64(2.0, 0.0), &a, &b, &mut acc);
         assert_eq!(acc[0], c64(-2.0, 2.0));
+
+        // conj variant: acc += w * conj(a) ⊙ b.
+        let mut accc = vec![Complex64::ZERO; 2];
+        hadamard_acc_conj(c64(2.0, 0.0), &a, &b, &mut accc);
+        assert_eq!(accc[0], c64(2.0, 2.0));
+        assert_eq!(accc[1], c64(2.0, 2.0));
     }
 
     #[test]

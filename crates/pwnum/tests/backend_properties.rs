@@ -141,6 +141,19 @@ proptest! {
         r.hadamard_acc(w, &a, &b, &mut hr);
         bl.hadamard_acc(w, &a, &b, &mut hb);
         prop_assert!(pwnum::cvec::max_abs_diff(&hr, &hb) < 1e-12);
+        // Conjugated accumulate (pair-symmetric Fock scatter): the
+        // blocked 4-wide unroll keeps per-element math identical, so the
+        // two backends agree bitwise.
+        r.hadamard_acc_conj(w, &a, &b, &mut hr);
+        bl.hadamard_acc_conj(w, &a, &b, &mut hb);
+        prop_assert!(pwnum::cvec::max_abs_diff(&hr, &hb) == 0.0);
+        // And it is the conjugate-argument twin of hadamard_acc.
+        let ac: Vec<Complex64> = a.iter().map(|z| z.conj()).collect();
+        let mut got = out_r.clone();
+        let mut href = out_r.clone();
+        r.hadamard_acc_conj(w, &a, &b, &mut got);
+        r.hadamard_acc(w, &ac, &b, &mut href);
+        prop_assert!(pwnum::cvec::max_abs_diff(&got, &href) < 1e-12);
     }
 
     #[test]

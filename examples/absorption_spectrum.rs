@@ -42,7 +42,7 @@ fn main() {
 
     // Field-free propagation, recording the dipole (semilocal functional
     // for speed; swap HybridParams::default() in for the hybrid spectrum).
-    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.106 });
+    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.106, ..Default::default() });
     let dt = 4.0; // a.u. (~97 as) — the PT gauge tolerates large steps
     let n_steps = 96;
     let ptim_cfg = PtimConfig { dt, max_scf: 25, tol_rho: 1e-8, ..Default::default() };

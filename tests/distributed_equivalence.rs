@@ -62,7 +62,7 @@ fn rho_diff(a: &[f64], b: &[f64], dv: f64) -> f64 {
 #[test]
 fn every_strategy_matches_serial_semilocal() {
     let (sys, st) = fixture();
-    let hyb = HybridParams { alpha: 0.0, omega: 0.2 };
+    let hyb = HybridParams { alpha: 0.0, omega: 0.2, ..Default::default() };
     let dt = 0.4;
     let (rho_ref, sigma_ref) = serial_reference(&sys, &st, hyb, dt);
     for strategy in
@@ -80,7 +80,7 @@ fn every_strategy_matches_serial_semilocal() {
 #[test]
 fn hybrid_distributed_matches_serial() {
     let (sys, st) = fixture();
-    let hyb = HybridParams { alpha: 0.25, omega: 0.2 };
+    let hyb = HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() };
     let dt = 0.3;
     let (rho_ref, sigma_ref) = serial_reference(&sys, &st, hyb, dt);
     let (rho, sigma, conv) =
@@ -94,7 +94,7 @@ fn hybrid_distributed_matches_serial() {
 #[test]
 fn shm_toggle_does_not_change_physics() {
     let (sys, st) = fixture();
-    let hyb = HybridParams { alpha: 0.0, omega: 0.2 };
+    let hyb = HybridParams { alpha: 0.0, omega: 0.2, ..Default::default() };
     let dt = 0.5;
     let (rho_a, sigma_a, _) =
         run_distributed(&sys, &st, hyb, dt, 4, 4, ExchangeStrategy::Ring, true);
@@ -107,7 +107,7 @@ fn shm_toggle_does_not_change_physics() {
 #[test]
 fn rank_count_does_not_change_physics() {
     let (sys, st) = fixture();
-    let hyb = HybridParams { alpha: 0.0, omega: 0.2 };
+    let hyb = HybridParams { alpha: 0.0, omega: 0.2, ..Default::default() };
     let dt = 0.4;
     let mut results = Vec::new();
     for p in [1usize, 2, 3, 6] {
@@ -125,7 +125,7 @@ fn rank_count_does_not_change_physics() {
 #[test]
 fn sigma_spectrum_stays_physical_distributed() {
     let (sys, st) = fixture();
-    let hyb = HybridParams { alpha: 0.25, omega: 0.2 };
+    let hyb = HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() };
     let (_, sigma, _) =
         run_distributed(&sys, &st, hyb, 0.4, 2, 2, ExchangeStrategy::AsyncRing, true);
     let e = eigh(&sigma);

@@ -42,7 +42,7 @@ fn ptim_matches_rk4_dipole_under_field() {
     // slowly on the Δt scale (the paper's 50 as steps under a fs-scale
     // envelope); a near-delta kick would need smaller steps.
     let laser = LaserPulse { e0: 0.02, omega: 0.10, t_center: 8.0, t_width: 8.0 };
-    let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.106 });
+    let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.106, ..Default::default() });
 
     let dt = 1.0;
     let n_steps = 4;
@@ -85,7 +85,7 @@ fn ptim_matches_rk4_dipole_under_field() {
 fn hybrid_ace_step_consistent_with_dense() {
     let sys = tiny_system();
     let gs = ground_state(&sys, true);
-    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.25, omega: 0.2 });
+    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() });
     let dt = 1.5;
 
     let (dense, dense_stats) = ptim_step(
@@ -116,7 +116,7 @@ fn hybrid_ace_step_consistent_with_dense() {
 fn energy_conserved_without_field_all_propagators() {
     let sys = tiny_system();
     let gs = ground_state(&sys, false);
-    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.106 });
+    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.106, ..Default::default() });
     let e0 = eng.total_energy(&TdState::from_ground_state(&gs)).total();
 
     // PT-IM.
@@ -144,7 +144,7 @@ fn invariants_preserved_over_many_ptim_steps() {
     let sys = tiny_system();
     let gs = ground_state(&sys, false);
     let laser = LaserPulse { e0: 0.05, omega: 0.12, t_center: 3.0, t_width: 2.0 };
-    let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.106 });
+    let eng = TdEngine::new(&sys, laser, HybridParams { alpha: 0.0, omega: 0.106, ..Default::default() });
     let mut s = TdState::from_ground_state(&gs);
     let ne0 = s.electron_count();
     let cfg = PtimConfig { dt: 1.0, max_scf: 40, tol_rho: 1e-8, ..Default::default() };
@@ -168,7 +168,7 @@ fn ground_state_is_stationary() {
     // density in one PT-IM step (stationarity of the ground state).
     let sys = tiny_system();
     let gs = ground_state(&sys, false);
-    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.106 });
+    let eng = TdEngine::new(&sys, LaserPulse::off(), HybridParams { alpha: 0.0, omega: 0.106, ..Default::default() });
     let s0 = TdState::from_ground_state(&gs);
     let rho0 = eng.eval(&s0.phi, &s0.sigma, 0.0).rho;
     let (s1, _) = ptim_step(

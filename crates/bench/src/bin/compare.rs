@@ -1,10 +1,83 @@
-//! CI gate for the pair-symmetric Fock scheduler: reads
-//! `BENCH_fock_pairsym.json` (path as the first argument, default
-//! `BENCH_fock_pairsym.json` in the working directory) and exits
-//! nonzero if the pair-symmetric path is *slower* than the baseline
-//! `apply_diag` at N = 128 — a perf regression the bench job must catch.
+//! CI gate for the benchmark JSON artifacts: reads one or more
+//! `BENCH_*.json` files (paths as arguments; with no arguments, the
+//! full default set) and applies a per-file, per-metric tolerance table
+//! — speedup floors and accuracy ceilings — exiting nonzero on any
+//! violation. This is the generalization of the original single-file
+//! pair-symmetry gate: every bench job funnels through one binary with
+//! its thresholds recorded in one place.
+//!
+//! Current gates:
+//!
+//! * `BENCH_fock_pairsym.json` — the Hermitian pair-symmetric scheduler
+//!   must not be slower than the baseline `apply_diag` at N = 128.
+//! * `BENCH_mixed_precision.json` — the fp32 exchange pipeline must be
+//!   ≥ 1.4× the fp64 pipeline on Fock `apply_pure` at N = 64 (Blocked
+//!   backend), with the 20-step dipole trace within 1e-6 of the fp64
+//!   run and the apply-level relative error at fp32 scale (≤ 1e-5).
 
 use std::process::ExitCode;
+
+/// One bound on one metric of one selected benchmark row.
+struct MetricGate {
+    /// Human-readable description printed with the verdict.
+    what: &'static str,
+    /// Row selector: the row's `select_key` field must equal `select_val`.
+    select_key: &'static str,
+    select_val: f64,
+    /// Rows whose raw text contains this substring are skipped.
+    exclude: Option<&'static str>,
+    /// The metric field to check.
+    metric: &'static str,
+    /// Inclusive lower bound (speedup floors).
+    min: Option<f64>,
+    /// Inclusive upper bound (accuracy ceilings).
+    max: Option<f64>,
+}
+
+/// The tolerance table: which gates apply to which artifact.
+fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
+    match basename {
+        "BENCH_fock_pairsym.json" => Some(vec![MetricGate {
+            what: "pair-symmetric speedup over baseline at N=128",
+            select_key: "bands",
+            select_val: 128.0,
+            exclude: Some("screened"),
+            metric: "speedup",
+            min: Some(1.0),
+            max: None,
+        }]),
+        "BENCH_mixed_precision.json" => Some(vec![
+            MetricGate {
+                what: "mixed-precision speedup on Fock apply at N=64",
+                select_key: "bands",
+                select_val: 64.0,
+                exclude: None,
+                metric: "speedup",
+                min: Some(1.4),
+                max: None,
+            },
+            MetricGate {
+                what: "mixed-precision apply relative error at N=64",
+                select_key: "bands",
+                select_val: 64.0,
+                exclude: None,
+                metric: "apply_rel_err",
+                min: None,
+                max: Some(1e-5),
+            },
+            MetricGate {
+                what: "20-step dipole trace deviation (mixed vs fp64)",
+                select_key: "steps",
+                select_val: 20.0,
+                exclude: None,
+                metric: "dipole_err",
+                min: None,
+                max: Some(1e-6),
+            },
+        ]),
+        _ => None,
+    }
+}
 
 /// Extracts the `f64` after `"key": ` in `obj` (flat JSON object text).
 fn field_f64(obj: &str, key: &str) -> Option<f64> {
@@ -15,43 +88,94 @@ fn field_f64(obj: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_fock_pairsym.json".to_string());
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("compare: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+/// Applies one gate to a file's text; returns `Err` on violation or
+/// when no matching row exists.
+fn apply_gate(text: &str, gate: &MetricGate) -> Result<(), String> {
+    for obj in text.split('{') {
+        let Some(sel) = field_f64(obj, gate.select_key) else { continue };
+        if sel != gate.select_val {
+            continue;
         }
+        if let Some(ex) = gate.exclude {
+            if obj.contains(ex) {
+                continue;
+            }
+        }
+        let Some(value) = field_f64(obj, gate.metric) else { continue };
+        if let Some(min) = gate.min {
+            // NaN must fail the floor check, so compare negated.
+            if value.partial_cmp(&min) != Some(std::cmp::Ordering::Greater)
+                && value.partial_cmp(&min) != Some(std::cmp::Ordering::Equal)
+            {
+                return Err(format!(
+                    "{}: {} = {value:.4} below floor {min}",
+                    gate.what, gate.metric
+                ));
+            }
+        }
+        if let Some(max) = gate.max {
+            // NaN must fail the ceiling check, so compare negated.
+            if value.partial_cmp(&max) != Some(std::cmp::Ordering::Less)
+                && value.partial_cmp(&max) != Some(std::cmp::Ordering::Equal)
+            {
+                return Err(format!(
+                    "{}: {} = {value:.3e} above ceiling {max:.0e}",
+                    gate.what, gate.metric
+                ));
+            }
+        }
+        println!("  OK  {} ({} = {value:.4e})", gate.what, gate.metric);
+        return Ok(());
+    }
+    Err(format!(
+        "{}: no row with {} == {} found",
+        gate.what, gate.select_key, gate.select_val
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<String> = if args.is_empty() {
+        // The benches run with the package dir as CWD, so the artifacts
+        // live next to this crate's manifest regardless of where compare
+        // itself is invoked from.
+        let dir = env!("CARGO_MANIFEST_DIR");
+        vec![
+            format!("{dir}/BENCH_fock_pairsym.json"),
+            format!("{dir}/BENCH_mixed_precision.json"),
+        ]
+    } else {
+        args
     };
 
-    // Per-benchmark objects are written one per line by the harness.
-    let mut checked = false;
-    for obj in text.split('{') {
-        let (Some(bands), Some(speedup)) = (field_f64(obj, "bands"), field_f64(obj, "speedup"))
-        else {
+    let mut failed = false;
+    for path in &paths {
+        let basename = path.rsplit('/').next().unwrap_or(path);
+        let Some(gates) = gates_for(basename) else {
+            eprintln!("compare: FAIL — no gate table registered for {basename}");
+            failed = true;
             continue;
         };
-        // The screened row also runs at specific band counts; gate only
-        // the headline pure-halving row.
-        if bands as usize == 128 && !obj.contains("screened") {
-            checked = true;
-            println!("N=128: pair-symmetric speedup {speedup:.3}x over baseline");
-            if speedup < 1.0 {
-                eprintln!(
-                    "compare: FAIL — pair-symmetric path slower than baseline at N=128 \
-                     ({speedup:.3}x)"
-                );
-                return ExitCode::FAILURE;
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("compare: FAIL — cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        println!("{path}:");
+        for gate in &gates {
+            if let Err(msg) = apply_gate(&text, gate) {
+                eprintln!("compare: FAIL — {msg}");
+                failed = true;
             }
         }
     }
-    if !checked {
-        eprintln!("compare: FAIL — no N=128 row found in {path}");
-        return ExitCode::FAILURE;
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("compare: OK ({} file(s) gated)", paths.len());
+        ExitCode::SUCCESS
     }
-    println!("compare: OK");
-    ExitCode::SUCCESS
 }

@@ -7,6 +7,7 @@
 use perfmodel::platform::Platform;
 use pwdft::{scf_hybrid, scf_lda, Cell, DftSystem, GroundState, HybridConfig, ScfConfig};
 use pwnum::backend::{by_name, BackendHandle};
+use pwnum::precision::PrecisionPolicy;
 
 /// Harness options parsed from the command line.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +73,19 @@ pub fn backend_for_platform(platform: &Platform) -> BackendHandle {
     by_name(name).expect("built-in backend")
 }
 
+/// Maps a modeled platform to its default precision policy — the
+/// paper's fp32 playbook: accelerator-style platforms (GPU) run the
+/// exchange Poisson solves in fp32 with compensated fp64 accumulation
+/// ([`PrecisionPolicy::mixed`]), while the ARM path stays all-fp64
+/// ([`PrecisionPolicy::fp64`]).
+pub fn precision_for_platform(platform: &Platform) -> PrecisionPolicy {
+    if platform.accelerator {
+        PrecisionPolicy::mixed()
+    } else {
+        PrecisionPolicy::fp64()
+    }
+}
+
 /// Median wall time per call of `f` over `iters` samples (one warm-up) —
 /// shared by the JSON-writing bench harnesses.
 pub fn median_secs(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -117,6 +131,15 @@ mod tests {
         let sys = si8_system(&HarnessOpts { full: false });
         assert_eq!(sys.grid.len(), 1000);
         assert_eq!(sys.cell.n_atoms(), 8);
+    }
+
+    #[test]
+    fn platform_precision_defaults() {
+        let arm = precision_for_platform(&Platform::fugaku_arm());
+        assert!(!arm.any_reduced(), "ARM default must stay fp64");
+        let gpu = precision_for_platform(&Platform::gpu_a100());
+        assert!(gpu.exchange.reduced(), "GPU default must reduce exchange");
+        assert!(gpu.monitors_drift());
     }
 
     #[test]

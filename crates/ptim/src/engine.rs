@@ -5,10 +5,12 @@ use crate::laser::{external_potential, sawtooth_x, LaserPulse};
 use crate::state::TdState;
 use pwdft::density::{density_from_natural_with, natural_orbitals_with, NaturalOrbitals};
 use pwdft::energy::{external_energy, kinetic_energy, EnergyBreakdown};
+use pwdft::fock::SolveCounters;
 use pwdft::hamiltonian::{build_hxc_with, Exchange, Hamiltonian};
 use pwdft::{DftSystem, FockOperator, FockOptions, Wavefunction};
 use pwnum::backend::{default_backend, BackendHandle};
 use pwnum::cmat::CMat;
+use std::sync::Arc;
 
 /// Hybrid-functional parameters for the dynamics.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +46,11 @@ pub struct TdEngine<'s> {
     /// Compute backend every hot primitive of the propagators routes
     /// through (FFT batches, Fock solves, band ops, subspace GEMMs).
     pub backend: BackendHandle,
+    /// Shared precision counters: every Fock operator the engine
+    /// constructs records its fp64/fp32 Poisson solves here, and the
+    /// propagators snapshot the totals around each step to fill
+    /// [`StepStats`](crate::StepStats).
+    pub counters: Arc<SolveCounters>,
     /// Cached sawtooth x-coordinate.
     x_saw: Vec<f64>,
 }
@@ -80,12 +87,21 @@ impl<'s> TdEngine<'s> {
         hybrid: HybridParams,
         backend: BackendHandle,
     ) -> Self {
+        hybrid.fock.precision.validate();
         let x_saw = sawtooth_x(&sys.grid);
-        TdEngine { sys, laser, hybrid, backend, x_saw }
+        TdEngine {
+            sys,
+            laser,
+            hybrid,
+            backend,
+            counters: Arc::new(SolveCounters::default()),
+            x_saw,
+        }
     }
 
     /// A Fock operator on the engine's grid, backend, and scheduler
     /// options — the one construction every exchange evaluation shares.
+    /// Solve counts route into the engine's shared [`SolveCounters`].
     pub fn fock_operator(&self) -> FockOperator<'s> {
         FockOperator::with_options(
             &self.sys.grid,
@@ -93,6 +109,23 @@ impl<'s> TdEngine<'s> {
             self.backend.clone(),
             self.hybrid.fock,
         )
+        .with_counters(self.counters.clone())
+    }
+
+    /// The same engine with the precision policy promoted to all-fp64 —
+    /// what the drift monitor reruns a tripped step on. Shares the
+    /// counters (and the backend) so cost accounting stays unified.
+    pub fn promoted(&self) -> TdEngine<'s> {
+        let mut hybrid = self.hybrid;
+        hybrid.fock.precision = hybrid.fock.precision.promoted();
+        TdEngine {
+            sys: self.sys,
+            laser: self.laser.clone(),
+            hybrid,
+            backend: self.backend.clone(),
+            counters: self.counters.clone(),
+            x_saw: self.x_saw.clone(),
+        }
     }
 
     /// The laser potential at time `t`.

@@ -35,7 +35,7 @@ pub mod state;
 pub use engine::{HybridParams, TdEngine};
 pub use laser::LaserPulse;
 pub use observables::Recorder;
-pub use propagate::StepStats;
+pub use propagate::{step_with_drift_guard, StepStats};
 pub use ptcn::{ptcn_step, PtcnConfig};
 pub use ptim::{ptim_step, PtimConfig};
 pub use ptim_ace::{ptim_ace_step, PtimAceConfig};

@@ -29,6 +29,74 @@ pub struct StepStats {
     /// [`FockApplyStats::skipped_weight`](pwdft::FockApplyStats) — the
     /// error-bound handle of DESIGN.md §3; 0 at the default cutoff).
     pub fock_skipped_weight: f64,
+    /// Screened Poisson solves performed in fp64 during this step
+    /// (snapshot delta of the engine's shared
+    /// [`SolveCounters`](pwdft::fock::SolveCounters)).
+    pub fock_solves_fp64: usize,
+    /// Screened Poisson solves performed in fp32 during this step —
+    /// the per-step precision count of the mixed pipeline. After an
+    /// auto-promotion this still includes the discarded fp32 work.
+    pub fock_solves_fp32: usize,
+    /// The step's *increase* in the propagated orbitals' orthonormality
+    /// error, measured before the end-of-step constraints — the drift
+    /// signal the precision monitor trips on. Only measured (nonzero)
+    /// when the monitor is active: a reduced exchange stage with a
+    /// finite `promote_drift` on a hybrid run.
+    pub orthonormality_drift: f64,
+    /// 1 when the drift monitor tripped and the step was recomputed at
+    /// fp64 (see
+    /// [`PrecisionPolicy::promote_drift`](pwnum::precision::PrecisionPolicy)).
+    pub precision_promotions: usize,
+}
+
+/// True when the engine's policy asks the propagators to measure the
+/// per-step orthonormality drift (two extra band overlaps per step —
+/// skipped entirely for all-fp64 and semilocal runs).
+pub(crate) fn monitor_active(eng: &crate::engine::TdEngine<'_>) -> bool {
+    eng.hybrid.alpha != 0.0 && eng.hybrid.fock.precision.monitors_drift()
+}
+
+/// Runs one propagator step under the engine's precision policy with
+/// the per-step drift monitor: when the policy reduces the exchange
+/// stage and the step's pre-constraint orthonormality drift exceeds
+/// [`PrecisionPolicy::promote_drift`](pwnum::precision::PrecisionPolicy)
+/// (or goes non-finite — the NaN guard), the whole step is recomputed
+/// on an all-fp64 engine and reported via
+/// [`StepStats::precision_promotions`].
+///
+/// The monitor is a guardrail against *catastrophic* fp32 failures
+/// (blow-ups, NaNs from degenerate pair solves); routine fp32 rounding
+/// sits orders of magnitude below the default threshold (DESIGN.md
+/// §"Precision error budget").
+pub fn step_with_drift_guard<'s, F>(
+    eng: &crate::engine::TdEngine<'s>,
+    step: F,
+) -> (TdState, StepStats)
+where
+    F: Fn(&crate::engine::TdEngine<'s>) -> (TdState, StepStats),
+{
+    let (next, stats) = step(eng);
+    let policy = eng.hybrid.fock.precision;
+    if eng.hybrid.alpha == 0.0 || !policy.monitors_drift() {
+        return (next, stats);
+    }
+    let tripped = !stats.orthonormality_drift.is_finite()
+        || stats.orthonormality_drift > policy.promote_drift;
+    if !tripped {
+        return (next, stats);
+    }
+    // Auto-promotion: recompute the step at fp64. The discarded
+    // attempt's solves (fp32, and fp64 under the attribution half-path)
+    // stay visible in the stats so cost accounting is honest.
+    let eng64 = eng.promoted();
+    let (next64, mut stats64) = step(&eng64);
+    stats64.precision_promotions = 1;
+    stats64.fock_solves_fp32 += stats.fock_solves_fp32;
+    stats64.fock_solves_fp64 += stats.fock_solves_fp64;
+    // Keep the drift value that tripped the guard (the promoted rerun's
+    // monitor is inactive, so it would otherwise report 0).
+    stats64.orthonormality_drift = stats.orthonormality_drift;
+    (next64, stats64)
 }
 
 /// The midpoint `(Φ, σ)` of two states (Eq. 4), on the process default

@@ -17,7 +17,7 @@
 //! reference while PT-IM tracks it.
 
 use crate::engine::TdEngine;
-use crate::propagate::{density_residual, StepStats};
+use crate::propagate::{density_residual, step_with_drift_guard, StepStats};
 use crate::state::TdState;
 use pwdft::mixing::AndersonMixer;
 use pwdft::Wavefunction;
@@ -66,8 +66,17 @@ fn pt_force(h: &pwdft::Hamiltonian, phi: &Wavefunction) -> Vec<Complex64> {
 }
 
 /// One PT-CN step. The occupation matrix is carried along *unchanged*
-/// (the scheme has no σ dynamics — its defining limitation).
+/// (the scheme has no σ dynamics — its defining limitation). Under a
+/// reduced precision policy the step runs the drift monitor.
 pub fn ptcn_step(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState, StepStats) {
+    step_with_drift_guard(eng, |e| ptcn_step_once(e, state, cfg))
+}
+
+/// One unguarded PT-CN step (the drift monitor wraps this).
+fn ptcn_step_once(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState, StepStats) {
+    let solve_snap = eng.counters.snapshot();
+    let start_err = crate::propagate::monitor_active(eng)
+        .then(|| state.orthonormality_error());
     let dt = cfg.dt;
     let ne = state.electron_count();
     let dv = eng.sys.grid.dv();
@@ -122,6 +131,10 @@ pub fn ptcn_step(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState,
         next.phi.data.copy_from_slice(&mixed);
     }
 
+    if let Some(e0) = start_err {
+        stats.orthonormality_drift = (next.orthonormality_error() - e0).max(0.0);
+    }
+    (stats.fock_solves_fp64, stats.fock_solves_fp32) = eng.counters.since(solve_snap);
     next.phi.orthonormalize_lowdin();
     (next, stats)
 }

@@ -7,7 +7,9 @@
 //! before the ACE optimization.
 
 use crate::engine::TdEngine;
-use crate::propagate::{density_residual, midpoint_with, pt_update, StepStats};
+use crate::propagate::{
+    density_residual, midpoint_with, pt_update, step_with_drift_guard, StepStats,
+};
 use crate::state::TdState;
 use pwdft::mixing::AndersonMixer;
 
@@ -38,8 +40,19 @@ impl Default for PtimConfig {
     }
 }
 
-/// One PT-IM time step with dense (diagonalized) Fock exchange.
+/// One PT-IM time step with dense (diagonalized) Fock exchange. Under a
+/// reduced precision policy the step runs the drift monitor and may be
+/// recomputed at fp64 (see
+/// [`step_with_drift_guard`]).
 pub fn ptim_step(eng: &TdEngine, state: &TdState, cfg: &PtimConfig) -> (TdState, StepStats) {
+    step_with_drift_guard(eng, |e| ptim_step_once(e, state, cfg))
+}
+
+/// One unguarded PT-IM step (the drift monitor wraps this).
+fn ptim_step_once(eng: &TdEngine, state: &TdState, cfg: &PtimConfig) -> (TdState, StepStats) {
+    let solve_snap = eng.counters.snapshot();
+    let start_err = crate::propagate::monitor_active(eng)
+        .then(|| state.orthonormality_error());
     let dt = cfg.dt;
     let t_mid = state.time + 0.5 * dt;
     let ne = state.electron_count();
@@ -92,7 +105,12 @@ pub fn ptim_step(eng: &TdEngine, state: &TdState, cfg: &PtimConfig) -> (TdState,
         next.unpack_into(&mixed);
     }
 
-    // Alg. 1 line 13: orthogonalize Φ, conjugate-symmetrize σ.
+    // Drift + precision accounting, then Alg. 1 line 13: orthogonalize
+    // Φ, conjugate-symmetrize σ.
+    if let Some(e0) = start_err {
+        stats.orthonormality_drift = (next.orthonormality_error() - e0).max(0.0);
+    }
+    (stats.fock_solves_fp64, stats.fock_solves_fp32) = eng.counters.since(solve_snap);
     next.enforce_constraints();
     (next, stats)
 }

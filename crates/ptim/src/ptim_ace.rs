@@ -8,7 +8,9 @@
 //! ~5 per step (5 outer × ~13 inner on the 384-atom system).
 
 use crate::engine::TdEngine;
-use crate::propagate::{density_residual, midpoint_with, pt_update, StepStats};
+use crate::propagate::{
+    density_residual, midpoint_with, pt_update, step_with_drift_guard, StepStats,
+};
 use crate::state::TdState;
 use pwdft::mixing::AndersonMixer;
 use pwdft::AceOperator;
@@ -47,13 +49,26 @@ impl Default for PtimAceConfig {
     }
 }
 
-/// One PT-IM-ACE time step (Fig. 4b).
+/// One PT-IM-ACE time step (Fig. 4b). Under a reduced precision policy
+/// the step runs the drift monitor.
 pub fn ptim_ace_step(
     eng: &TdEngine,
     state: &TdState,
     cfg: &PtimAceConfig,
 ) -> (TdState, StepStats) {
+    step_with_drift_guard(eng, |e| ptim_ace_step_once(e, state, cfg))
+}
+
+/// One unguarded PT-IM-ACE step (the drift monitor wraps this).
+fn ptim_ace_step_once(
+    eng: &TdEngine,
+    state: &TdState,
+    cfg: &PtimAceConfig,
+) -> (TdState, StepStats) {
     assert!(eng.hybrid.alpha != 0.0, "PT-IM-ACE requires a hybrid functional");
+    let solve_snap = eng.counters.snapshot();
+    let start_err = crate::propagate::monitor_active(eng)
+        .then(|| state.orthonormality_error());
     let dt = cfg.dt;
     let t_mid = state.time + 0.5 * dt;
     let ne = state.electron_count();
@@ -64,7 +79,9 @@ pub fn ptim_ace_step(
     let (w_n, _ex_n, fstats) = eng.exchange_images_stats(&state.phi, &state.sigma);
     stats.fock_applies += 1;
     stats.fock_skipped_weight += fstats.skipped_weight;
-    let ace_n = AceOperator::build_with(eng.backend.clone(), &state.phi, &w_n);
+    let gemm_stage = eng.hybrid.fock.precision.subspace_gemm;
+    let ace_n =
+        AceOperator::build_with_policy(eng.backend.clone(), &state.phi, &w_n, gemm_stage);
     let ev_n = eng.eval(&state.phi, &state.sigma, state.time);
     let h_n = eng.hamiltonian_ace(&ev_n, ace_n);
     let (phi_p, sigma_p) = pt_update(state, &h_n, &state.phi, &state.sigma, dt);
@@ -80,7 +97,8 @@ pub fn ptim_ace_step(
         let (w_mid, ex_mid, fstats) = eng.exchange_images_stats(&phi_mid0, &sigma_mid0);
         stats.fock_applies += 1;
         stats.fock_skipped_weight += fstats.skipped_weight;
-        let ace_mid = AceOperator::build_with(eng.backend.clone(), &phi_mid0, &w_mid);
+        let ace_mid =
+            AceOperator::build_with_policy(eng.backend.clone(), &phi_mid0, &w_mid, gemm_stage);
 
         // Outer convergence on the exchange energy (Fig. 4b decision).
         if (ex_mid - ex_prev).abs() < cfg.tol_ex {
@@ -113,6 +131,10 @@ pub fn ptim_ace_step(
         }
     }
 
+    if let Some(e0) = start_err {
+        stats.orthonormality_drift = (next.orthonormality_error() - e0).max(0.0);
+    }
+    (stats.fock_solves_fp64, stats.fock_solves_fp32) = eng.counters.since(solve_snap);
     next.enforce_constraints();
     (next, stats)
 }

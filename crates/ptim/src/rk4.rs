@@ -7,7 +7,7 @@
 //! the paper uses Δt 100× smaller than PT-IM's 50 as.
 
 use crate::engine::TdEngine;
-use crate::propagate::StepStats;
+use crate::propagate::{step_with_drift_guard, StepStats};
 use crate::state::TdState;
 use pwdft::Wavefunction;
 use pwnum::complex::{c64, Complex64};
@@ -44,7 +44,16 @@ fn axpy_block(eng: &TdEngine, alpha: f64, x: &Wavefunction, y: &Wavefunction) ->
 
 /// One RK4 step; returns the new state and step statistics
 /// (4 Hamiltonian applications = 4 Fock evaluations in hybrid mode).
+/// Under a reduced precision policy the step runs the drift monitor.
 pub fn rk4_step(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, StepStats) {
+    step_with_drift_guard(eng, |e| rk4_step_once(e, state, cfg))
+}
+
+/// One unguarded RK4 step (the drift monitor wraps this).
+fn rk4_step_once(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, StepStats) {
+    let solve_snap = eng.counters.snapshot();
+    let start_err = crate::propagate::monitor_active(eng)
+        .then(|| state.orthonormality_error());
     let dt = cfg.dt;
     let t = state.time;
 
@@ -68,10 +77,24 @@ pub fn rk4_step(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, S
     }
 
     let fock = if eng.hybrid.alpha != 0.0 { 4 } else { 0 };
-    (
-        TdState { phi: phi_next, sigma: state.sigma.clone(), time: t + dt },
-        StepStats { fock_applies: fock, converged: true, ..Default::default() },
-    )
+    let next = TdState { phi: phi_next, sigma: state.sigma.clone(), time: t + dt };
+    let (fp64s, fp32s) = eng.counters.since(solve_snap);
+    let stats = StepStats {
+        fock_applies: fock,
+        converged: true,
+        // RK4 never re-orthonormalizes, so the step's *increase* in
+        // orthonormality error is the drift signal — the state's own
+        // (cumulative) error would eventually trip the monitor from
+        // ordinary integration drift on long runs. Measured only when
+        // the monitor is active.
+        orthonormality_drift: start_err
+            .map(|e0| (next.orthonormality_error() - e0).max(0.0))
+            .unwrap_or(0.0),
+        fock_solves_fp64: fp64s,
+        fock_solves_fp32: fp32s,
+        ..Default::default()
+    };
+    (next, stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,152 @@
+//! Mixed-precision physics suite: a 20-step hybrid RT-TDDFT run under
+//! the fp32 exchange policy must track the all-fp64 run's observables
+//! (dipole trace, total energy) within the documented tolerance
+//! (DESIGN.md §"Precision error budget"), and the per-step drift
+//! monitor must auto-promote when forced.
+
+use ptim::{rk4_step, HybridParams, LaserPulse, Rk4Config, TdEngine, TdState};
+use pwdft::{Cell, DftSystem, FockOptions, Wavefunction};
+use pwnum::cmat::CMat;
+use pwnum::precision::PrecisionPolicy;
+
+/// Documented dipole-trace tolerance of the mixed pipeline on the
+/// CI-scale system (see DESIGN.md and `bench/benches/mixed_precision.rs`
+/// which gates the same bound in CI).
+const DIPOLE_TOL: f64 = 1e-6;
+
+/// Documented relative total-energy tolerance after 20 mixed steps.
+const ENERGY_TOL: f64 = 1e-7;
+
+fn fixture() -> (DftSystem, TdState) {
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.0, [6, 6, 6]);
+    let mut phi = Wavefunction::random(&sys.grid, 3, 23);
+    phi.orthonormalize_lowdin();
+    let sigma = CMat::from_real_diag(&[1.0, 0.7, 0.4]);
+    (sys, TdState { phi, sigma, time: 0.0 })
+}
+
+fn hybrid(policy: PrecisionPolicy) -> HybridParams {
+    HybridParams {
+        alpha: 0.25,
+        omega: 0.2,
+        fock: FockOptions { precision: policy, ..Default::default() },
+    }
+}
+
+fn laser() -> LaserPulse {
+    LaserPulse { e0: 0.05, omega: 0.15, t_center: 0.15, t_width: 0.1 }
+}
+
+/// Runs `steps` RK4 steps and records the dipole after each.
+fn run(
+    sys: &DftSystem,
+    st0: &TdState,
+    policy: PrecisionPolicy,
+    steps: usize,
+) -> (Vec<f64>, f64, TdState, Vec<ptim::StepStats>) {
+    let eng = TdEngine::new(sys, laser(), hybrid(policy));
+    let cfg = Rk4Config { dt: 0.02 };
+    let mut s = st0.clone();
+    let mut dipoles = Vec::with_capacity(steps);
+    let mut stats_log = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let (next, stats) = rk4_step(&eng, &s, &cfg);
+        s = next;
+        stats_log.push(stats);
+        let ev = eng.eval(&s.phi, &s.sigma, s.time);
+        dipoles.push(eng.dipole_x(&ev.rho));
+    }
+    let e = eng.total_energy(&s).total();
+    (dipoles, e, s, stats_log)
+}
+
+#[test]
+fn mixed_run_tracks_fp64_dipole_and_energy() {
+    let (sys, st0) = fixture();
+    let steps = 20;
+    let (d64, e64, s64, log64) = run(&sys, &st0, PrecisionPolicy::fp64(), steps);
+    let (dmx, emx, smx, logmx) = run(&sys, &st0, PrecisionPolicy::mixed(), steps);
+
+    // Precision accounting: the fp64 run performed no fp32 solves, the
+    // mixed run performed *only* fp32 solves and never promoted.
+    for st in &log64 {
+        assert_eq!(st.fock_solves_fp32, 0);
+        assert!(st.fock_solves_fp64 > 0);
+        assert_eq!(st.precision_promotions, 0);
+    }
+    for st in &logmx {
+        assert_eq!(st.fock_solves_fp64, 0, "mixed run fell back to fp64 unexpectedly");
+        assert!(st.fock_solves_fp32 > 0);
+        assert_eq!(st.precision_promotions, 0, "default threshold must not trip");
+    }
+
+    // Dipole trace agreement within the documented tolerance.
+    let max_dipole_err = d64
+        .iter()
+        .zip(&dmx)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "max_dipole_err={max_dipole_err:.3e} dipole_scale={:.3e} energy_err={:.3e}",
+        d64.iter().fold(0.0f64, |m, v| m.max(v.abs())),
+        (e64 - emx).abs() / e64.abs().max(1.0)
+    );
+    assert!(
+        max_dipole_err < DIPOLE_TOL,
+        "dipole trace drift {max_dipole_err:.3e} exceeds {DIPOLE_TOL:.0e}"
+    );
+
+    // Energy drift of the mixed run relative to the fp64 run.
+    let energy_err = (e64 - emx).abs() / e64.abs().max(1.0);
+    assert!(
+        energy_err < ENERGY_TOL,
+        "energy drift {energy_err:.3e} exceeds {ENERGY_TOL:.0e} ({e64} vs {emx})"
+    );
+
+    // The states themselves stay close (fp32-level, amplified mildly by
+    // 20 steps of dynamics).
+    let state_diff = s64.phi.max_abs_diff(&smx.phi);
+    assert!(state_diff < 1e-4, "orbital drift {state_diff}");
+}
+
+#[test]
+fn drift_monitor_promotes_when_forced() {
+    // promote_drift = 0: any nonzero pre-constraint drift under the
+    // fp32 policy trips the monitor, so every step must be recomputed
+    // at fp64 and report the promotion.
+    let (sys, st0) = fixture();
+    let forced = PrecisionPolicy { promote_drift: 0.0, ..PrecisionPolicy::mixed() };
+    let eng = TdEngine::new(&sys, laser(), hybrid(forced));
+    let (next, stats) = rk4_step(&eng, &st0, &Rk4Config { dt: 0.02 });
+    assert_eq!(stats.precision_promotions, 1, "monitor must trip at threshold 0");
+    // The rerun happened at fp64 (fp64 solves recorded) while the
+    // discarded fp32 attempt stays visible in the fp32 count.
+    assert!(stats.fock_solves_fp64 > 0, "promoted step must run fp64 solves");
+    assert!(stats.fock_solves_fp32 > 0, "discarded fp32 work must stay visible");
+    // And the promoted step equals the all-fp64 step exactly.
+    let eng64 = TdEngine::new(&sys, laser(), hybrid(PrecisionPolicy::fp64()));
+    let (next64, stats64) = rk4_step(&eng64, &st0, &Rk4Config { dt: 0.02 });
+    assert_eq!(stats64.precision_promotions, 0);
+    assert_eq!(next.phi.max_abs_diff(&next64.phi), 0.0, "promotion must replay fp64 exactly");
+}
+
+#[test]
+fn promotion_disabled_for_semilocal_runs() {
+    // With alpha = 0 there is no exchange to reduce: the guard must not
+    // interfere even under an aggressive threshold.
+    let (sys, st0) = fixture();
+    let policy = PrecisionPolicy { promote_drift: 0.0, ..PrecisionPolicy::mixed() };
+    let eng = TdEngine::new(
+        &sys,
+        LaserPulse::off(),
+        HybridParams {
+            alpha: 0.0,
+            omega: 0.1,
+            fock: FockOptions { precision: policy, ..Default::default() },
+        },
+    );
+    let (_, stats) = rk4_step(&eng, &st0, &Rk4Config { dt: 0.02 });
+    assert_eq!(stats.precision_promotions, 0);
+    assert_eq!(stats.fock_solves_fp32, 0);
+    assert_eq!(stats.fock_solves_fp64, 0);
+}

@@ -23,16 +23,25 @@ use pwnum::backend::{default_backend, BackendHandle};
 use pwnum::chol::{cholesky, invert_lower};
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
+use pwnum::precision::{self, Complex32, CVec32, StagePrecision};
 
 /// The compressed exchange operator `V_ACE = -ξ ξ^H`.
 ///
 /// Carries the compute backend it was built on; both GEMMs of every
-/// application route through it.
+/// application route through it. Under a reduced subspace-GEMM precision
+/// stage (see [`PrecisionPolicy`](pwnum::precision::PrecisionPolicy)) a
+/// demoted copy of ξ is cached at build time and every apply runs the
+/// overlap/rotation pair in fp32, promoting the result into the fp64
+/// output — half the GEMM traffic per application.
 #[derive(Clone, Debug)]
 pub struct AceOperator {
     /// Projection vectors ξ (band-major, same space as the wavefunctions
     /// used to build the operator — here G-space).
     pub xi: Wavefunction,
+    /// Demoted projection vectors, cached when `gemm_stage` is reduced.
+    xi32: Option<CVec32>,
+    /// Precision of the apply-side subspace GEMMs.
+    gemm_stage: StagePrecision,
     /// Compute backend for the overlap/rotation pair of each apply.
     backend: BackendHandle,
 }
@@ -48,11 +57,24 @@ impl AceOperator {
         Self::build_with(default_backend().clone(), phi, w)
     }
 
-    /// [`Self::build`] on an explicit compute backend.
+    /// [`Self::build`] on an explicit compute backend (fp64 applies).
     pub fn build_with(
         backend: BackendHandle,
         phi: &Wavefunction,
         w: &Wavefunction,
+    ) -> AceOperator {
+        Self::build_with_policy(backend, phi, w, StagePrecision::Fp64)
+    }
+
+    /// [`Self::build_with`] with an explicit apply-side subspace-GEMM
+    /// precision stage. The compression itself (overlap, Cholesky,
+    /// rotation) always runs in fp64 — only the per-apply GEMM pair is
+    /// reduced, and only when `gemm_stage` is.
+    pub fn build_with_policy(
+        backend: BackendHandle,
+        phi: &Wavefunction,
+        w: &Wavefunction,
+        gemm_stage: StagePrecision,
     ) -> AceOperator {
         assert_eq!(phi.n_bands, w.n_bands);
         assert_eq!(phi.ng, w.ng);
@@ -68,7 +90,8 @@ impl AceOperator {
         // ξ = W L^{-H}: Q = (L^{-1})^H.
         let q = invert_lower(&l).herm();
         let xi = w.rotated_with(&*backend, &q);
-        AceOperator { xi, backend }
+        let xi32 = gemm_stage.reduced().then(|| precision::demote(&xi.data));
+        AceOperator { xi, xi32, gemm_stage, backend }
     }
 
     /// Builds the operator directly from a [`FockOperator`] and the
@@ -95,7 +118,8 @@ impl AceOperator {
         let ex = fock.exchange_energy(&phi_r, occ, &vx_r, grid.dv());
         let mut w = Wavefunction::from_real_with(be, grid, fft, vx_r);
         w.mask(grid);
-        let ace = Self::build_with(backend, phi, &w);
+        let ace =
+            Self::build_with_policy(backend, phi, &w, fock.options().precision.subspace_gemm);
         (ace, w, ex, stats)
     }
 
@@ -106,6 +130,32 @@ impl AceOperator {
     pub fn apply_add(&self, psi: &Wavefunction, scale: f64, out: &mut [Complex64]) {
         assert_eq!(psi.ng, self.xi.ng);
         assert_eq!(out.len(), psi.data.len());
+        if self.gemm_stage.reduced() {
+            // Reduced subspace-GEMM stage: both GEMMs run in fp32 on the
+            // cached demoted ξ, and the fp32 result block is promoted
+            // into the fp64 output in one pass. Scratch comes from the
+            // backend's fp32 pool so this hot per-apply path stays
+            // allocation-free in steady state.
+            let xi32 = self.xi32.as_ref().expect("reduced gemm stage caches demoted ξ");
+            let be = &*self.backend;
+            let ng = self.xi.ng;
+            let mut psi32 = be.take_scratch32(psi.data.len());
+            precision::demote_into(&psi.data, &mut psi32);
+            let c32 = be.overlap32(xi32, &psi32, ng, self.xi.ip_scale as f32);
+            let mut acc32 = be.take_scratch32(out.len());
+            acc32.fill(Complex32::ZERO);
+            be.rotate_acc32(
+                Complex32::from_re(-scale as f32),
+                xi32,
+                &c32,
+                ng,
+                &mut acc32,
+            );
+            precision::promote_acc(&acc32, out);
+            be.recycle_buffer32(psi32);
+            be.recycle_buffer32(acc32);
+            return;
+        }
         // C[k][j] = <ξ_k | ψ_j>
         let c = self.xi.overlap_with(&*self.backend, psi);
         self.backend.rotate_acc(
@@ -160,6 +210,7 @@ mod tests {
     use crate::gvec::PwGrid;
     use crate::lattice::Cell;
     use pwnum::eigh;
+    use pwnum::precision::StagePrecision;
 
     fn build_test_ace() -> (PwGrid, Wavefunction, Wavefunction, AceOperator, Vec<f64>) {
         let cell = Cell::silicon_supercell(1, 1, 1);
@@ -231,6 +282,57 @@ mod tests {
         ace.apply_add(&phi, 1.0, &mut out);
         ace_ref.apply_add(&phi, 1.0, &mut out_ref);
         assert!(pwnum::cvec::max_abs_diff(&out, &out_ref) < 1e-8 * scale.max(1.0));
+    }
+
+    #[test]
+    fn reduced_subspace_gemm_tracks_fp64_apply() {
+        // The fp32 apply path (demoted ξ cache, overlap32 + rotate_acc32
+        // + promote) must track the fp64 apply at fp32 accuracy, on a
+        // nonzero accumulation target and through build_from_fock with a
+        // reduced subspace_gemm stage.
+        let (grid, phi, w, _, _) = build_test_ace();
+        let be = pwnum::backend::default_backend().clone();
+        for stage in [StagePrecision::Fp32, StagePrecision::Fp32Promoted] {
+            let ace64 = AceOperator::build_with(be.clone(), &phi, &w);
+            let ace32 = AceOperator::build_with_policy(be.clone(), &phi, &w, stage);
+            let seed: Vec<Complex64> = (0..phi.data.len())
+                .map(|k| Complex64::new((k as f64 * 0.1).sin(), (k as f64 * 0.2).cos()))
+                .collect();
+            let mut out64 = seed.clone();
+            let mut out32 = seed;
+            ace64.apply_add(&phi, 0.25, &mut out64);
+            ace32.apply_add(&phi, 0.25, &mut out32);
+            let scale = out64.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+            let diff = pwnum::cvec::max_abs_diff(&out64, &out32);
+            assert!(
+                diff < 1e-5 * scale.max(1.0),
+                "{stage:?}: reduced ACE apply drift {diff} (scale {scale})"
+            );
+        }
+        // The FockOperator policy propagates into build_from_fock.
+        let fock = FockOperator::with_options(
+            &grid,
+            0.2,
+            be,
+            crate::fock::FockOptions {
+                precision: pwnum::precision::PrecisionPolicy {
+                    subspace_gemm: StagePrecision::Fp32Promoted,
+                    ..pwnum::precision::PrecisionPolicy::mixed()
+                },
+                ..Default::default()
+            },
+        );
+        let fft = grid.fft();
+        let occ = vec![1.0, 0.9, 0.4, 0.1];
+        let (ace, w2, _, stats) = AceOperator::build_from_fock(&fock, &grid, &fft, &phi, &occ);
+        assert!(stats.solves_fp32 > 0);
+        assert!(ace.xi32.is_some(), "reduced stage must cache demoted ξ");
+        // It still reproduces W on the span to mixed-precision accuracy.
+        let mut out = vec![Complex64::ZERO; phi.data.len()];
+        ace.apply_add(&phi, 1.0, &mut out);
+        let scale = w2.data.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let diff = pwnum::cvec::max_abs_diff(&out, &w2.data);
+        assert!(diff < 1e-4 * scale.max(1e-10), "ACE span defect {diff}");
     }
 
     #[test]

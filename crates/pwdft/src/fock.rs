@@ -29,12 +29,14 @@
 //! callers can bound the error (see DESIGN.md §"Exchange").
 
 use crate::gvec::PwGrid;
-use pwfft::Fft3;
+use pwfft::{Fft3, Fft32};
 use pwnum::backend::{default_backend, BackendHandle};
 use pwnum::bands;
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
 use pwnum::cvec;
+use pwnum::precision::{self, Complex32, PrecisionPolicy};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// HSE06 screening parameter (bohr⁻¹).
@@ -60,11 +62,25 @@ pub struct FockOptions {
     /// this many pair densities, and scratch is bounded by
     /// `tile_bands · Ng` instead of `n_occ · Ng`.
     pub tile_bands: usize,
+    /// Per-stage precision policy: with a reduced `exchange` stage the
+    /// pair densities, Poisson FFT round trips and kernel multiplies run
+    /// in fp32, and the solved `W_ij` are accumulated into the fp64
+    /// targets (two-sum compensated under
+    /// [`StagePrecision::Fp32Promoted`](pwnum::precision::StagePrecision)).
+    /// Default: all-fp64 — bit-identical to the pre-subsystem behavior.
+    /// Only the *batched* schedulers honor the reduced stages; the
+    /// per-pair distributed entry points ([`FockOperator::accumulate_pair`],
+    /// [`FockOperator::accumulate_pair_sym`]) always run fp64.
+    pub precision: PrecisionPolicy,
 }
 
 impl Default for FockOptions {
     fn default() -> Self {
-        FockOptions { occ_cutoff: DEFAULT_OCC_CUTOFF, tile_bands: 32 }
+        FockOptions {
+            occ_cutoff: DEFAULT_OCC_CUTOFF,
+            tile_bands: 32,
+            precision: PrecisionPolicy::fp64(),
+        }
     }
 }
 
@@ -84,6 +100,41 @@ pub struct FockApplyStats {
     pub skipped_weight: f64,
     /// Whether the Hermitian pair-symmetric path was taken.
     pub symmetric: bool,
+    /// Poisson solves performed in fp32 (subset of
+    /// [`FockApplyStats::solves`]) — the per-apply precision count of
+    /// the mixed pipeline; 0 under the all-fp64 policy.
+    pub solves_fp32: usize,
+}
+
+/// Process-shared precision counters: total screened-Poisson solves by
+/// precision, accumulated atomically by every [`FockOperator`] handed
+/// the same `Arc`. The propagators snapshot these around a step to
+/// surface per-step fp64/fp32 solve counts in their `StepStats`.
+#[derive(Debug, Default)]
+pub struct SolveCounters {
+    fp64: AtomicUsize,
+    fp32: AtomicUsize,
+}
+
+impl SolveCounters {
+    /// Current `(fp64, fp32)` solve totals.
+    pub fn snapshot(&self) -> (usize, usize) {
+        (self.fp64.load(Ordering::Relaxed), self.fp32.load(Ordering::Relaxed))
+    }
+
+    /// `(fp64, fp32)` solves since a previous [`Self::snapshot`].
+    pub fn since(&self, snap: (usize, usize)) -> (usize, usize) {
+        let (f64s, f32s) = self.snapshot();
+        (f64s - snap.0, f32s - snap.1)
+    }
+
+    fn add_fp64(&self, n: usize) {
+        self.fp64.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_fp32(&self, n: usize) {
+        self.fp32.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// Screened-exchange kernel sampled on a grid's G vectors.
@@ -131,6 +182,18 @@ pub struct FockOperator<'g> {
     kernel: ScreenedKernel,
     backend: BackendHandle,
     opts: FockOptions,
+    /// fp32 solve machinery (plans + demoted kernel), built once when
+    /// the policy's exchange stage is reduced.
+    fp32: Option<Fp32Kit>,
+    /// Shared precision counters (see [`SolveCounters`]).
+    counters: Arc<SolveCounters>,
+}
+
+/// The fp32 half of the operator: single-precision FFT plans for the
+/// grid and the demoted `K(G)` table.
+struct Fp32Kit {
+    fft: Fft32,
+    kg: Vec<f32>,
 }
 
 impl<'g> FockOperator<'g> {
@@ -154,13 +217,41 @@ impl<'g> FockOperator<'g> {
         opts: FockOptions,
     ) -> Self {
         assert!(opts.tile_bands > 0, "FockOptions::tile_bands must be positive");
+        opts.precision.validate();
+        let fft = grid.fft();
+        let kernel = ScreenedKernel::hse(grid, omega);
+        // The fp32 FFT machinery exists only when the policy's fft stage
+        // is reduced too; a reduced exchange stage with an Fp64 fft stage
+        // promotes each pair tile for the round trip instead
+        // (error-attribution mode, see `PrecisionPolicy`).
+        let fp32 = (opts.precision.exchange.reduced() && opts.precision.fft.reduced())
+            .then(|| {
+                let (n0, n1, n2) = fft.dims();
+                Fp32Kit { fft: Fft32::new(n0, n1, n2), kg: precision::demote_real(&kernel.kg) }
+            });
         FockOperator {
             grid,
-            fft: grid.fft(),
-            kernel: ScreenedKernel::hse(grid, omega),
+            fft,
+            kernel,
             backend,
             opts,
+            fp32,
+            counters: Arc::new(SolveCounters::default()),
         }
+    }
+
+    /// Routes this operator's solve counts into a shared counter set
+    /// (builder style) — the engines pass one `Arc` to every operator
+    /// they construct so per-step precision counts can be snapshotted.
+    pub fn with_counters(mut self, counters: Arc<SolveCounters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The operator's precision counters.
+    #[inline]
+    pub fn counters(&self) -> &Arc<SolveCounters> {
+        &self.counters
     }
 
     /// Grid size.
@@ -187,6 +278,33 @@ impl<'g> FockOperator<'g> {
     /// one filtered round trip over the tile arena).
     fn poisson_batch(&self, pairs: &mut [Complex64], count: usize) {
         self.fft.convolve_many_with(&*self.backend, pairs, count, &self.kernel.kg);
+        self.counters.add_fp64(count);
+    }
+
+    /// The fp32 twin of [`Self::poisson_batch`], driven by the
+    /// mixed-precision pair-tile scheduler.
+    fn poisson_batch32(&self, kit: &Fp32Kit, pairs: &mut [Complex32], count: usize) {
+        kit.fft.convolve_many_with(&*self.backend, pairs, count, &kit.kg);
+        self.counters.add_fp32(count);
+    }
+
+    /// Solves one fp32 pair tile at the policy's `fft` stage precision:
+    /// fp32 plans when the kit exists, otherwise promoted fp64 round
+    /// trips on the demoted tile (the error-attribution half-path).
+    /// Returns how many of the solves ran in fp32.
+    fn poisson_tile32(&self, pairs: &mut [Complex32], count: usize) -> usize {
+        match &self.fp32 {
+            Some(kit) => {
+                self.poisson_batch32(kit, pairs, count);
+                count
+            }
+            None => {
+                let mut tmp = precision::promote(pairs);
+                self.poisson_batch(&mut tmp, count);
+                precision::demote_into(&tmp, pairs);
+                0
+            }
+        }
     }
 
     /// Paper Alg. 2 — the mixed-state baseline. `phi_r` are the N orbitals
@@ -309,6 +427,64 @@ impl<'g> FockOperator<'g> {
         }
         let be = &*self.backend;
         let tile = self.opts.tile_bands.min(pairs.len());
+        if self.opts.precision.exchange.reduced() {
+            // Mixed-precision path: demote the orbital block once, form
+            // pair densities and solve the screened Poisson round trips
+            // at the fft stage's precision, and accumulate each solved
+            // W_ij into the fp64 targets (two-sum compensated under
+            // Fp32Promoted).
+            let phi32 = precision::demote(phi_r);
+            // Pooled zeroed buffer: the compensation array is output-
+            // sized and would otherwise be a fresh allocation per apply.
+            let mut comp: Option<Vec<Complex64>> = self
+                .opts
+                .precision
+                .exchange
+                .compensated()
+                .then(|| be.take_buffer(n * ng));
+            let mut arena = be.take_scratch32(tile * ng);
+            for chunk in pairs.chunks(tile) {
+                let m = chunk.len();
+                for (s, &(i, j)) in chunk.iter().enumerate() {
+                    be.hadamard_conj32(
+                        &phi32[i as usize * ng..(i as usize + 1) * ng],
+                        &phi32[j as usize * ng..(j as usize + 1) * ng],
+                        &mut arena[s * ng..(s + 1) * ng],
+                    );
+                }
+                stats.solves_fp32 += self.poisson_tile32(&mut arena[..m * ng], m);
+                stats.solves += m;
+                for (s, &(i, j)) in chunk.iter().enumerate() {
+                    let (i, j) = (i as usize, j as usize);
+                    let pair = &arena[s * ng..(s + 1) * ng];
+                    if d[i].abs() >= cutoff {
+                        be.hadamard_acc_promote(
+                            -d[i],
+                            pair,
+                            &phi32[i * ng..(i + 1) * ng],
+                            &mut out[j * ng..(j + 1) * ng],
+                            comp.as_mut().map(|c| &mut c[j * ng..(j + 1) * ng]),
+                        );
+                        stats.contributions += 1;
+                    }
+                    if i != j && d[j].abs() >= cutoff {
+                        be.hadamard_acc_promote_conj(
+                            -d[j],
+                            pair,
+                            &phi32[j * ng..(j + 1) * ng],
+                            &mut out[i * ng..(i + 1) * ng],
+                            comp.as_mut().map(|c| &mut c[i * ng..(i + 1) * ng]),
+                        );
+                        stats.contributions += 1;
+                    }
+                }
+            }
+            be.recycle_buffer32(arena);
+            if let Some(c) = comp {
+                be.recycle_buffer(c);
+            }
+            return (out, stats);
+        }
         // One pooled tile arena for the whole apply (contents
         // unspecified: hadamard_conj fully writes each pair grid before
         // the solve reads it).
@@ -379,6 +555,50 @@ impl<'g> FockOperator<'g> {
         }
         let be = &*self.backend;
         let tile = self.opts.tile_bands.min(occ.len());
+        if self.opts.precision.exchange.reduced() {
+            // Mixed-precision path: demote sources and targets once,
+            // solve per-target batches at the fft stage's precision,
+            // accumulate into fp64.
+            let phi32 = precision::demote(phi_r);
+            let psi32 = precision::demote(psi_r);
+            let mut comp: Option<Vec<Complex64>> = self
+                .opts
+                .precision
+                .exchange
+                .compensated()
+                .then(|| be.take_buffer(n_tgt * ng));
+            let mut arena = be.take_scratch32(tile * ng);
+            for j in 0..n_tgt {
+                let pj = &psi32[j * ng..(j + 1) * ng];
+                for chunk in occ.chunks(tile) {
+                    let m = chunk.len();
+                    for (s, &i) in chunk.iter().enumerate() {
+                        be.hadamard_conj32(
+                            &phi32[i * ng..(i + 1) * ng],
+                            pj,
+                            &mut arena[s * ng..(s + 1) * ng],
+                        );
+                    }
+                    stats.solves_fp32 += self.poisson_tile32(&mut arena[..m * ng], m);
+                    stats.solves += m;
+                    for (s, &i) in chunk.iter().enumerate() {
+                        be.hadamard_acc_promote(
+                            -d[i],
+                            &arena[s * ng..(s + 1) * ng],
+                            &phi32[i * ng..(i + 1) * ng],
+                            &mut out[j * ng..(j + 1) * ng],
+                            comp.as_mut().map(|c| &mut c[j * ng..(j + 1) * ng]),
+                        );
+                        stats.contributions += 1;
+                    }
+                }
+            }
+            be.recycle_buffer32(arena);
+            if let Some(c) = comp {
+                be.recycle_buffer(c);
+            }
+            return (out, stats);
+        }
         let mut arena = be.take_scratch(tile * ng);
         for j in 0..n_tgt {
             let pj = bands::band(psi_r, ng, j);
@@ -701,13 +921,13 @@ mod tests {
             &grid,
             0.2,
             be.clone(),
-            FockOptions { occ_cutoff: 1e-2, tile_bands: 32 },
+            FockOptions { occ_cutoff: 1e-2, tile_bands: 32, ..Default::default() },
         );
         let exact = FockOperator::with_options(
             &grid,
             0.2,
             be,
-            FockOptions { occ_cutoff: 0.0, tile_bands: 32 },
+            FockOptions { occ_cutoff: 0.0, tile_bands: 32, ..Default::default() },
         );
         let (vs, ss) = screened.apply_pure_stats(&phi_r, &d);
         let (ve, se) = exact.apply_pure_stats(&phi_r, &d);
@@ -721,6 +941,109 @@ mod tests {
         let diff = pwnum::cvec::max_abs_diff(&vs, &ve);
         let scale = ve.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
         assert!(diff > 0.0 && diff < 1e-1 * scale, "screening error {diff} vs {scale}");
+    }
+
+    #[test]
+    fn mixed_precision_matches_fp64_within_tolerance() {
+        // The fp32 exchange pipeline (demote → fp32 pair density → fp32
+        // Poisson round trip → compensated fp64 accumulation) must track
+        // the fp64 reference to fp32 accuracy on both scheduler paths,
+        // and report its solves in the precision counters.
+        let (grid, fft, wf) = setup(5);
+        let d = vec![1.0, 0.9, 0.5, 0.2, 0.05];
+        let phi_r = wf.to_real_all(&fft);
+        let be = pwnum::backend::default_backend().clone();
+        let exact = FockOperator::with_options(&grid, 0.2, be.clone(), FockOptions::default());
+        let mixed = FockOperator::with_options(
+            &grid,
+            0.2,
+            be,
+            FockOptions { precision: PrecisionPolicy::mixed(), ..Default::default() },
+        );
+        // Symmetric path.
+        let (ve, se) = exact.apply_pure_stats(&phi_r, &d);
+        let (vm, sm) = mixed.apply_pure_stats(&phi_r, &d);
+        assert_eq!(se.solves_fp32, 0);
+        assert_eq!(sm.solves_fp32, sm.solves);
+        assert_eq!(sm.solves, se.solves);
+        let scale = ve.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let diff = pwnum::cvec::max_abs_diff(&ve, &vm);
+        assert!(diff < 1e-4 * scale.max(1.0), "fp32 symmetric drift {diff} (scale {scale})");
+        // Asymmetric path (copied target block).
+        let psi = phi_r.clone();
+        let (ae, _) = exact.apply_diag_stats(&phi_r, &d, &psi);
+        let (am, sam) = mixed.apply_diag_stats(&phi_r, &d, &psi);
+        assert!(!sam.symmetric && sam.solves_fp32 == sam.solves);
+        let adiff = pwnum::cvec::max_abs_diff(&ae, &am);
+        assert!(adiff < 1e-4 * scale.max(1.0), "fp32 asymmetric drift {adiff}");
+        // Counters recorded the split.
+        let (e64, e32) = exact.counters().snapshot();
+        assert!(e64 > 0 && e32 == 0);
+        let (m64, m32) = mixed.counters().snapshot();
+        assert!(m32 > 0 && m64 == 0);
+    }
+
+    #[test]
+    fn fp64_fft_stage_attribution_half_path() {
+        // exchange reduced + fft Fp64: pair densities and accumulation
+        // stay in the fp32 storage pipeline, but the Poisson round trips
+        // run promoted on the fp64 plans — solves counted as fp64, and
+        // the result still tracks the all-fp64 apply at fp32 accuracy.
+        let (grid, fft, wf) = setup(4);
+        let d = vec![1.0, 0.8, 0.5, 0.2];
+        let phi_r = wf.to_real_all(&fft);
+        let be = pwnum::backend::default_backend().clone();
+        let policy = PrecisionPolicy {
+            fft: pwnum::precision::StagePrecision::Fp64,
+            ..PrecisionPolicy::mixed()
+        };
+        let half = FockOperator::with_options(
+            &grid,
+            0.2,
+            be,
+            FockOptions { precision: policy, ..Default::default() },
+        );
+        let exact = FockOperator::new(&grid, 0.2);
+        let (ve, _) = exact.apply_pure_stats(&phi_r, &d);
+        let (vh, sh) = half.apply_pure_stats(&phi_r, &d);
+        assert_eq!(sh.solves_fp32, 0, "fp64 fft stage must not count fp32 solves");
+        assert!(sh.solves > 0);
+        let (c64s, c32s) = half.counters().snapshot();
+        assert!(c64s > 0 && c32s == 0);
+        let scale = ve.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let diff = pwnum::cvec::max_abs_diff(&ve, &vh);
+        assert!(diff < 1e-4 * scale.max(1.0), "half-path drift {diff}");
+    }
+
+    #[test]
+    fn compensated_and_plain_fp32_both_track_fp64() {
+        // Fp32 vs Fp32Promoted: both stay within fp32 tolerance of the
+        // fp64 result; the compensated variant must not be worse.
+        let (grid, fft, wf) = setup(4);
+        let d = vec![1.0, 0.8, 0.6, 0.3];
+        let phi_r = wf.to_real_all(&fft);
+        let be = pwnum::backend::default_backend().clone();
+        let exact = FockOperator::new(&grid, 0.2);
+        let ve = exact.apply_pure(&phi_r, &d);
+        let scale = ve.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let mut errs = Vec::new();
+        for stage in [
+            pwnum::precision::StagePrecision::Fp32,
+            pwnum::precision::StagePrecision::Fp32Promoted,
+        ] {
+            let policy =
+                PrecisionPolicy { exchange: stage, ..PrecisionPolicy::mixed() };
+            let op = FockOperator::with_options(
+                &grid,
+                0.2,
+                be.clone(),
+                FockOptions { precision: policy, ..Default::default() },
+            );
+            let v = op.apply_pure(&phi_r, &d);
+            errs.push(pwnum::cvec::max_abs_diff(&ve, &v));
+        }
+        assert!(errs[0] < 1e-4 * scale.max(1.0), "plain fp32 err {}", errs[0]);
+        assert!(errs[1] < 1e-4 * scale.max(1.0), "compensated err {}", errs[1]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod wavefunction;
 pub mod xc;
 
 pub use ace::AceOperator;
-pub use fock::{FockApplyStats, FockOperator, FockOptions};
+pub use fock::{FockApplyStats, FockOperator, FockOptions, SolveCounters};
 pub use gvec::PwGrid;
 pub use hamiltonian::{Exchange, Hamiltonian};
 pub use lattice::Cell;

@@ -7,9 +7,10 @@
 
 use pwdft::fock::{FockOptions, ScreenedKernel};
 use pwdft::{Cell, FockOperator, PwGrid, Wavefunction};
-use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform};
+use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform, GridTransform32};
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
+use pwnum::precision::{CMat32, Complex32};
 use pwnum::cvec;
 use pwnum::gemm::Op;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -132,6 +133,76 @@ impl Backend for CountingBackend {
     fn recycle_buffer(&self, buf: Vec<Complex64>) {
         self.inner.recycle_buffer(buf);
     }
+
+    fn gemm32(
+        &self,
+        alpha: Complex32,
+        a: &CMat32,
+        op_a: Op,
+        b: &CMat32,
+        op_b: Op,
+    ) -> CMat32 {
+        self.inner.gemm32(alpha, a, op_a, b, op_b)
+    }
+
+    fn overlap32(&self, a: &[Complex32], b: &[Complex32], band_len: usize, scale: f32) -> CMat32 {
+        self.inner.overlap32(a, b, band_len, scale)
+    }
+
+    fn rotate_acc32(
+        &self,
+        alpha: Complex32,
+        a: &[Complex32],
+        q: &CMat32,
+        band_len: usize,
+        out: &mut [Complex32],
+    ) {
+        self.inner.rotate_acc32(alpha, a, q, band_len, out);
+    }
+
+    fn scale_by_real32(&self, k: &[f32], field: &mut [Complex32]) {
+        self.inner.scale_by_real32(k, field);
+    }
+
+    fn hadamard_conj32(&self, a: &[Complex32], b: &[Complex32], out: &mut [Complex32]) {
+        self.inner.hadamard_conj32(a, b, out);
+    }
+
+    fn hadamard_acc_promote(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    ) {
+        self.inner.hadamard_acc_promote(w, a, b, acc, comp);
+    }
+
+    fn hadamard_acc_promote_conj(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    ) {
+        self.inner.hadamard_acc_promote_conj(w, a, b, acc, comp);
+    }
+
+    fn transform_batch32(&self, pass: &dyn GridTransform32, data: &mut [Complex32], count: usize) {
+        // fp32 grids count toward the same FFT-volume budget.
+        self.grids.fetch_add(count, Ordering::SeqCst);
+        self.inner.transform_batch32(pass, data, count);
+    }
+
+    fn take_scratch32(&self, len: usize) -> Vec<Complex32> {
+        self.inner.take_scratch32(len)
+    }
+
+    fn recycle_buffer32(&self, buf: Vec<Complex32>) {
+        self.inner.recycle_buffer32(buf);
+    }
 }
 
 /// Non-power-of-two (2/3/5-smooth) test grid, the paper's grid family.
@@ -216,7 +287,7 @@ fn zero_cutoff_is_bitwise_identical_to_no_screening() {
             &grid,
             0.2,
             be.clone(),
-            FockOptions { occ_cutoff: cutoff, tile_bands: 8 },
+            FockOptions { occ_cutoff: cutoff, tile_bands: 8, ..Default::default() },
         )
     };
     // occ_cutoff = 0 keeps every pair (|d| < 0 is never true): screening

@@ -13,11 +13,21 @@
 //!   [`pwnum::backend::Backend`] own slab decomposition and scratch
 //!   reuse (DESIGN.md §3).
 //!
+//! * [`plan32`] / [`fft32`] — the single-precision twins ([`Plan32`],
+//!   [`Fft32`]): fp32 twiddles and butterflies with the same mixed-radix
+//!   structure and fused row-vector passes, feeding the mixed-precision
+//!   exchange pipeline through [`pwnum::backend::Backend::transform_batch32`]
+//!   at half the memory traffic and twice the SIMD width.
+//!
 //! All grid sizes used by the physics code are 2/3/5-smooth, matching the
 //! paper's production grids (e.g. 60×90×120 for 1536 Si atoms).
 
 pub mod fft3;
+pub mod fft32;
 pub mod plan;
+pub mod plan32;
 
 pub use fft3::{Fft3, FftPass};
+pub use fft32::{Fft32, FftPass32};
 pub use plan::Plan;
+pub use plan32::Plan32;

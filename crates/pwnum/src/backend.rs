@@ -38,6 +38,7 @@ use crate::complex::Complex64;
 use crate::cvec;
 use crate::gemm::{self, packed, packed_cols, Op};
 use crate::parallel::{num_threads, par_chunks_mut, par_ranges};
+use crate::precision::{self, CMat32, Complex32};
 use parking_lot::Mutex;
 use std::sync::{Arc, OnceLock};
 
@@ -54,6 +55,19 @@ pub trait GridTransform: Sync {
     /// Transforms one grid in place. `scratch` has at least
     /// [`GridTransform::scratch_len`] elements and may hold garbage.
     fn run(&self, grid: &mut [Complex64], scratch: &mut [Complex64]);
+}
+
+/// Single-precision twin of [`GridTransform`]: one pass of a batched
+/// fp32 transform (the fp32 screened-Poisson FFT of the mixed-precision
+/// exchange path). Implemented by `pwfft`'s fp32 plans.
+pub trait GridTransform32: Sync {
+    /// Number of elements in one grid.
+    fn grid_len(&self) -> usize;
+    /// Scratch elements required by one [`GridTransform32::run`] call.
+    fn scratch_len(&self) -> usize;
+    /// Transforms one grid in place. `scratch` has at least
+    /// [`GridTransform32::scratch_len`] elements and may hold garbage.
+    fn run(&self, grid: &mut [Complex32], scratch: &mut [Complex32]);
 }
 
 /// The device abstraction: every performance-critical primitive of the
@@ -167,6 +181,75 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     /// Returns a buffer obtained from [`Backend::take_buffer`] to the
     /// backend for reuse.
     fn recycle_buffer(&self, buf: Vec<Complex64>);
+
+    // -----------------------------------------------------------------
+    // fp32 / mixed-precision primitives (see [`crate::precision`]).
+    //
+    // Contract: `Reference` and `Blocked` must agree *exactly* (same
+    // per-element arithmetic order, value-equal results) on every fp32
+    // primitive — reduced precision may not compound with backend
+    // summation-order differences.
+    // -----------------------------------------------------------------
+
+    /// fp32 GEMM `alpha * op(A) * op(B)` (no accumulate input: fp32
+    /// products always land in fresh fp32 or promoted fp64 targets).
+    fn gemm32(&self, alpha: Complex32, a: &CMat32, op_a: Op, b: &CMat32, op_b: Op) -> CMat32;
+
+    /// fp32 band-block overlap `S[i][j] = scale * <a_i|b_j>`.
+    fn overlap32(&self, a: &[Complex32], b: &[Complex32], band_len: usize, scale: f32) -> CMat32;
+
+    /// fp32 accumulating rotation `out_j += alpha Σ_i a_i q[i][j]`.
+    fn rotate_acc32(
+        &self,
+        alpha: Complex32,
+        a: &[Complex32],
+        q: &CMat32,
+        band_len: usize,
+        out: &mut [Complex32],
+    );
+
+    /// fp32 elementwise real-kernel apply `field *= k` (kernel cycled
+    /// per grid) — the `K(G)·f_G` multiply of the fp32 Poisson solve.
+    fn scale_by_real32(&self, k: &[f32], field: &mut [Complex32]);
+
+    /// fp32 elementwise conjugated product `out = conj(a) ⊙ b` — the
+    /// pair-density kernel of the fp32 Fock path.
+    fn hadamard_conj32(&self, a: &[Complex32], b: &[Complex32], out: &mut [Complex32]);
+
+    /// Weighted promote-accumulate `acc += w · a ⊙ b`: fp32 operands,
+    /// fp64 products and accumulation, optionally two-sum compensated
+    /// via `comp` (see [`precision::hadamard_acc_promote`]).
+    fn hadamard_acc_promote(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    );
+
+    /// Conjugated variant of [`Backend::hadamard_acc_promote`]:
+    /// `acc += w · conj(a) ⊙ b` — the swapped-side scatter of the
+    /// pair-symmetric scheduler in fp32.
+    fn hadamard_acc_promote_conj(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    );
+
+    /// Runs `pass` over `count` consecutive fp32 grids in `data` — the
+    /// batched fp32 3-D FFT entry point.
+    fn transform_batch32(&self, pass: &dyn GridTransform32, data: &mut [Complex32], count: usize);
+
+    /// Hands out an fp32 buffer of `len` elements with *unspecified
+    /// contents* — the fp32 twin of [`Backend::take_scratch`].
+    fn take_scratch32(&self, len: usize) -> Vec<Complex32>;
+
+    /// Returns an fp32 buffer to the backend for reuse.
+    fn recycle_buffer32(&self, buf: Vec<Complex32>);
 }
 
 /// Shared, clonable handle to a backend.
@@ -304,21 +387,141 @@ impl Backend for Reference {
     }
 
     fn recycle_buffer(&self, _buf: Vec<Complex64>) {}
+
+    fn gemm32(&self, alpha: Complex32, a: &CMat32, op_a: Op, b: &CMat32, op_b: Op) -> CMat32 {
+        let ap = packed32(a, op_a);
+        let bp = packed32_cols(b, op_b);
+        let (m, k) = (ap.rows(), ap.cols());
+        let n = bp.rows();
+        assert_eq!(k, bp.cols(), "gemm32 inner dimension mismatch");
+        let mut c = CMat32::zeros(m, n);
+        for i in 0..m {
+            let arow = ap.row(i);
+            for j in 0..n {
+                let brow = bp.row(j);
+                let mut s = Complex32::ZERO;
+                for (l, &av) in arow.iter().enumerate() {
+                    s = av.mul_add(brow[l], s);
+                }
+                c[(i, j)] = s * alpha;
+            }
+        }
+        c
+    }
+
+    fn overlap32(&self, a: &[Complex32], b: &[Complex32], band_len: usize, scale: f32) -> CMat32 {
+        let na = n_bands32(a, band_len);
+        let nb = n_bands32(b, band_len);
+        let mut s = CMat32::zeros(na, nb);
+        for i in 0..na {
+            let ai = &a[i * band_len..(i + 1) * band_len];
+            for j in 0..nb {
+                let bj = &b[j * band_len..(j + 1) * band_len];
+                let mut acc = Complex32::ZERO;
+                for (x, y) in ai.iter().zip(bj) {
+                    acc = x.conj().mul_add(*y, acc);
+                }
+                s[(i, j)] = acc.scale(scale);
+            }
+        }
+        s
+    }
+
+    fn rotate_acc32(
+        &self,
+        alpha: Complex32,
+        a: &[Complex32],
+        q: &CMat32,
+        band_len: usize,
+        out: &mut [Complex32],
+    ) {
+        let na = n_bands32(a, band_len);
+        assert_eq!(q.rows(), na, "rotate_acc32: Q row count must match band count");
+        assert_eq!(out.len(), band_len * q.cols(), "rotate_acc32: bad output size");
+        for (j, oj) in out.chunks_mut(band_len).enumerate() {
+            for i in 0..na {
+                let w = alpha * q[(i, j)];
+                if w == Complex32::ZERO {
+                    continue;
+                }
+                let ai = &a[i * band_len..(i + 1) * band_len];
+                for (o, &av) in oj.iter_mut().zip(ai) {
+                    *o = av.mul_add(w, *o);
+                }
+            }
+        }
+    }
+
+    fn scale_by_real32(&self, k: &[f32], field: &mut [Complex32]) {
+        precision::scale_by_real32(k, field);
+    }
+
+    fn hadamard_conj32(&self, a: &[Complex32], b: &[Complex32], out: &mut [Complex32]) {
+        precision::hadamard_conj32(a, b, out);
+    }
+
+    fn hadamard_acc_promote(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    ) {
+        precision::hadamard_acc_promote(w, a, b, acc, comp);
+    }
+
+    fn hadamard_acc_promote_conj(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    ) {
+        precision::hadamard_acc_promote_conj(w, a, b, acc, comp);
+    }
+
+    fn transform_batch32(&self, pass: &dyn GridTransform32, data: &mut [Complex32], count: usize) {
+        let n = pass.grid_len();
+        assert_eq!(data.len(), count * n, "transform_batch32 length mismatch");
+        let scratch_len = pass.scratch_len();
+        // Per-call scratch allocation, thread-parallel over grids — the
+        // fp32 twin of the fp64 reference batching.
+        par_chunks_mut(data, n, |_, grid| {
+            let mut scratch = vec![Complex32::ZERO; scratch_len];
+            pass.run(grid, &mut scratch);
+        });
+    }
+
+    fn take_scratch32(&self, len: usize) -> Vec<Complex32> {
+        vec![Complex32::ZERO; len]
+    }
+
+    fn recycle_buffer32(&self, _buf: Vec<Complex32>) {}
 }
 
 // ---------------------------------------------------------------------
 // Blocked backend
 // ---------------------------------------------------------------------
 
-/// Bounded thread-safe free list of scratch buffers.
+/// Bounded thread-safe free list of scratch buffers, generic over the
+/// element type so the fp64 and fp32 pipelines each pool their own
+/// arenas.
 ///
 /// `take` is best-fit: it hands out the *smallest* pooled buffer that
 /// satisfies the request, so a batch-sized arena is not wasted on a
 /// line-sized ask; `put` drops buffers beyond the count and byte caps
 /// rather than growing without bound.
-#[derive(Debug, Default)]
-struct BufferPool {
-    slots: Mutex<Vec<Vec<Complex64>>>,
+#[derive(Debug)]
+struct BufferPool<T> {
+    slots: Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> Default for BufferPool<T> {
+    fn default() -> Self {
+        BufferPool { slots: Mutex::new(Vec::new()) }
+    }
 }
 
 /// Maximum number of buffers the pool retains.
@@ -329,21 +532,21 @@ const POOL_CAP: usize = 64;
 /// accumulate several of them for the process lifetime.
 const POOL_CAP_BYTES: usize = 1 << 30;
 
-impl BufferPool {
-    fn take(&self, len: usize) -> Vec<Complex64> {
+impl<T: Copy + Default> BufferPool<T> {
+    fn take(&self, len: usize) -> Vec<T> {
         let mut buf = self.take_empty(len);
-        buf.resize(len, Complex64::ZERO);
+        buf.resize(len, T::default());
         buf
     }
 
     /// Like [`Self::take`] but the contents are unspecified (recycled
     /// values or zeros) — for scratch whose every element is written
     /// before being read, avoiding the O(len) zero fill per checkout.
-    fn take_garbage(&self, len: usize) -> Vec<Complex64> {
+    fn take_garbage(&self, len: usize) -> Vec<T> {
         let mut buf = self.lookup(len).unwrap_or_else(|| Vec::with_capacity(len));
         if buf.len() < len {
             // resize only writes the tail beyond the current length.
-            buf.resize(len, Complex64::ZERO);
+            buf.resize(len, T::default());
         } else {
             buf.truncate(len);
         }
@@ -352,7 +555,7 @@ impl BufferPool {
 
     /// Best-fit lookup returning a *cleared* buffer with at least `len`
     /// capacity (no fill — for callers that overwrite every element).
-    fn take_empty(&self, len: usize) -> Vec<Complex64> {
+    fn take_empty(&self, len: usize) -> Vec<T> {
         let mut buf = self.lookup(len).unwrap_or_else(|| Vec::with_capacity(len));
         buf.clear();
         buf
@@ -360,7 +563,7 @@ impl BufferPool {
 
     /// Best-fit pool lookup, bounded to ≤ 2×`len` capacity so a tiny
     /// request can never check out (and hold) a batch-sized arena.
-    fn lookup(&self, len: usize) -> Option<Vec<Complex64>> {
+    fn lookup(&self, len: usize) -> Option<Vec<T>> {
         let mut slots = self.slots.lock();
         let best = slots
             .iter()
@@ -371,14 +574,14 @@ impl BufferPool {
         best.map(|i| slots.swap_remove(i))
     }
 
-    fn put(&self, buf: Vec<Complex64>) {
+    fn put(&self, buf: Vec<T>) {
         if buf.capacity() == 0 {
             return;
         }
         let mut slots = self.slots.lock();
         let pooled_bytes: usize =
-            slots.iter().map(|b| b.capacity() * std::mem::size_of::<Complex64>()).sum();
-        let incoming = buf.capacity() * std::mem::size_of::<Complex64>();
+            slots.iter().map(|b| b.capacity() * std::mem::size_of::<T>()).sum();
+        let incoming = buf.capacity() * std::mem::size_of::<T>();
         if slots.len() < POOL_CAP && pooled_bytes + incoming <= POOL_CAP_BYTES {
             slots.push(buf);
         }
@@ -396,7 +599,8 @@ impl BufferPool {
 /// arena per worker, and pooled buffers for allocation-free hot loops.
 #[derive(Debug, Default)]
 pub struct Blocked {
-    pool: BufferPool,
+    pool: BufferPool<Complex64>,
+    pool32: BufferPool<Complex32>,
 }
 
 /// Column-block width of the register micro-kernel: each packed `A` row
@@ -482,6 +686,111 @@ fn dotc_block(a: &[Complex64], rows: &[&[Complex64]], acc: &mut [Complex64]) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// fp32 shared helpers
+// ---------------------------------------------------------------------
+
+/// Materializes `op(A)` row-major in fp32, Cow-borrowing the no-op case
+/// (packing is exact: transposes and conjugation introduce no rounding,
+/// so both backends can share it while staying value-identical).
+fn packed32(a: &CMat32, op: Op) -> std::borrow::Cow<'_, CMat32> {
+    use std::borrow::Cow;
+    match op {
+        Op::None => Cow::Borrowed(a),
+        Op::Trans => Cow::Owned(CMat32::from_fn(a.cols(), a.rows(), |i, j| a[(j, i)])),
+        Op::ConjTrans => {
+            Cow::Owned(CMat32::from_fn(a.cols(), a.rows(), |i, j| a[(j, i)].conj()))
+        }
+    }
+}
+
+/// Materializes `op(B)` with row `r` holding *column* `r` of `op(B)` —
+/// the contiguous-panel layout the fp32 micro-kernel streams. `Trans`
+/// is already in that layout and is Cow-borrowed.
+fn packed32_cols(b: &CMat32, op: Op) -> std::borrow::Cow<'_, CMat32> {
+    use std::borrow::Cow;
+    match op {
+        Op::None => Cow::Owned(CMat32::from_fn(b.cols(), b.rows(), |j, l| b[(l, j)])),
+        Op::Trans => Cow::Borrowed(b),
+        Op::ConjTrans => {
+            Cow::Owned(CMat32::from_fn(b.rows(), b.cols(), |j, l| b[(j, l)].conj()))
+        }
+    }
+}
+
+/// fp32 twin of [`dot_block`]: `acc[j] += Σ_l a[l] * rows[j][l]`, each
+/// output element accumulated sequentially over `l` — the same
+/// per-element order as a naive loop, so blocking never changes values.
+#[inline]
+fn dot_block32(a: &[Complex32], rows: &[&[Complex32]], acc: &mut [Complex32]) {
+    match rows.len() {
+        4 => {
+            let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
+            let (mut s0, mut s1, mut s2, mut s3) =
+                (Complex32::ZERO, Complex32::ZERO, Complex32::ZERO, Complex32::ZERO);
+            for (l, &av) in a.iter().enumerate() {
+                s0 = av.mul_add(r0[l], s0);
+                s1 = av.mul_add(r1[l], s1);
+                s2 = av.mul_add(r2[l], s2);
+                s3 = av.mul_add(r3[l], s3);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+            acc[2] += s2;
+            acc[3] += s3;
+        }
+        m => {
+            for (j, rj) in rows.iter().enumerate().take(m) {
+                let mut s = Complex32::ZERO;
+                for (l, &av) in a.iter().enumerate() {
+                    s = av.mul_add(rj[l], s);
+                }
+                acc[j] += s;
+            }
+        }
+    }
+}
+
+/// Conjugating fp32 variant: `acc[j] += Σ_l conj(a[l]) * rows[j][l]`.
+#[inline]
+fn dotc_block32(a: &[Complex32], rows: &[&[Complex32]], acc: &mut [Complex32]) {
+    match rows.len() {
+        4 => {
+            let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
+            let (mut s0, mut s1, mut s2, mut s3) =
+                (Complex32::ZERO, Complex32::ZERO, Complex32::ZERO, Complex32::ZERO);
+            for (l, av) in a.iter().enumerate() {
+                let ac = av.conj();
+                s0 = ac.mul_add(r0[l], s0);
+                s1 = ac.mul_add(r1[l], s1);
+                s2 = ac.mul_add(r2[l], s2);
+                s3 = ac.mul_add(r3[l], s3);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+            acc[2] += s2;
+            acc[3] += s3;
+        }
+        m => {
+            for (j, rj) in rows.iter().enumerate().take(m) {
+                let mut s = Complex32::ZERO;
+                for (l, av) in a.iter().enumerate() {
+                    s = av.conj().mul_add(rj[l], s);
+                }
+                acc[j] += s;
+            }
+        }
+    }
+}
+
+/// Number of fp32 bands in a band-major block.
+#[inline]
+fn n_bands32(a: &[Complex32], band_len: usize) -> usize {
+    assert!(band_len > 0, "band length must be positive");
+    assert!(a.len().is_multiple_of(band_len), "block not a multiple of band length");
+    a.len() / band_len
 }
 
 impl Backend for Blocked {
@@ -746,6 +1055,205 @@ impl Backend for Blocked {
 
     fn recycle_buffer(&self, buf: Vec<Complex64>) {
         self.pool.put(buf);
+    }
+
+    fn gemm32(&self, alpha: Complex32, a: &CMat32, op_a: Op, b: &CMat32, op_b: Op) -> CMat32 {
+        let ap = packed32(a, op_a);
+        let bp = packed32_cols(b, op_b);
+        let (m, k) = (ap.rows(), ap.cols());
+        let n = bp.rows();
+        assert_eq!(k, bp.cols(), "gemm32 inner dimension mismatch");
+        let mut c = CMat32::zeros(m, n);
+        // 4-wide register blocking over output columns; each element's
+        // sum runs in the same l order as the reference loop, so both
+        // backends produce identical values.
+        let mut blk: [&[Complex32]; NB] = [&[]; NB];
+        let mut crow = vec![Complex32::ZERO; n];
+        for i in 0..m {
+            let arow = ap.row(i);
+            crow.fill(Complex32::ZERO);
+            let mut jb = 0;
+            while jb < n {
+                let jn = (jb + NB).min(n);
+                for (s, j) in (jb..jn).enumerate() {
+                    blk[s] = bp.row(j);
+                }
+                dot_block32(arow, &blk[..jn - jb], &mut crow[jb..jn]);
+                jb = jn;
+            }
+            for (j, cv) in crow.iter().enumerate() {
+                c[(i, j)] = *cv * alpha;
+            }
+        }
+        c
+    }
+
+    fn overlap32(&self, a: &[Complex32], b: &[Complex32], band_len: usize, scale: f32) -> CMat32 {
+        let na = n_bands32(a, band_len);
+        let nb = n_bands32(b, band_len);
+        let mut s = CMat32::zeros(na, nb);
+        // Row-parallel like the fp64 twin: rows are independent and each
+        // element's per-l summation order is unchanged, so the result
+        // stays exactly equal to the reference loop.
+        {
+            let rows: Vec<Mutex<&mut [Complex32]>> =
+                s.as_mut_slice().chunks_mut(nb.max(1)).map(Mutex::new).collect();
+            par_ranges(na, |lo, hi| {
+                let mut blk: [&[Complex32]; NB] = [&[]; NB];
+                for (i, row_m) in rows.iter().enumerate().take(hi).skip(lo) {
+                    let ai = &a[i * band_len..(i + 1) * band_len];
+                    let mut row = row_m.lock();
+                    let mut jb = 0;
+                    while jb < nb {
+                        let jn = (jb + NB).min(nb);
+                        for (t, j) in (jb..jn).enumerate() {
+                            blk[t] = &b[j * band_len..(j + 1) * band_len];
+                        }
+                        dotc_block32(ai, &blk[..jn - jb], &mut row[jb..jn]);
+                        jb = jn;
+                    }
+                    for v in row.iter_mut() {
+                        *v = v.scale(scale);
+                    }
+                }
+            });
+        }
+        s
+    }
+
+    fn rotate_acc32(
+        &self,
+        alpha: Complex32,
+        a: &[Complex32],
+        q: &CMat32,
+        band_len: usize,
+        out: &mut [Complex32],
+    ) {
+        let na = n_bands32(a, band_len);
+        assert_eq!(q.rows(), na, "rotate_acc32: Q row count must match band count");
+        assert_eq!(out.len(), band_len * q.cols(), "rotate_acc32: bad output size");
+        // NB output bands per pass over each source band (same
+        // per-element accumulation order over i as the reference loop).
+        par_chunks_mut(out, band_len * NB, |blk_idx, oblk| {
+            let j0 = blk_idx * NB;
+            let width = oblk.len() / band_len;
+            for i in 0..na {
+                let ai = &a[i * band_len..(i + 1) * band_len];
+                let mut w = [Complex32::ZERO; NB];
+                let mut any = false;
+                for s in 0..width {
+                    w[s] = alpha * q[(i, j0 + s)];
+                    any |= w[s] != Complex32::ZERO;
+                }
+                if !any {
+                    continue;
+                }
+                match width {
+                    4 => {
+                        let (o0, rest) = oblk.split_at_mut(band_len);
+                        let (o1, rest) = rest.split_at_mut(band_len);
+                        let (o2, o3) = rest.split_at_mut(band_len);
+                        let (w0, w1, w2, w3) = (w[0], w[1], w[2], w[3]);
+                        for (l, &av) in ai.iter().enumerate() {
+                            o0[l] = av.mul_add(w0, o0[l]);
+                            o1[l] = av.mul_add(w1, o1[l]);
+                            o2[l] = av.mul_add(w2, o2[l]);
+                            o3[l] = av.mul_add(w3, o3[l]);
+                        }
+                    }
+                    _ => {
+                        for (s, oj) in oblk.chunks_mut(band_len).enumerate() {
+                            if w[s] != Complex32::ZERO {
+                                for (o, &av) in oj.iter_mut().zip(ai) {
+                                    *o = av.mul_add(w[s], *o);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn scale_by_real32(&self, k: &[f32], field: &mut [Complex32]) {
+        assert!(!k.is_empty(), "scale_by_real32: empty kernel");
+        assert!(
+            field.len().is_multiple_of(k.len()),
+            "scale_by_real32: field not a multiple of kernel"
+        );
+        // One fused parallel pass over the whole batch.
+        par_chunks_mut(field, k.len(), |_, chunk| {
+            for (f, &kv) in chunk.iter_mut().zip(k) {
+                *f = f.scale(kv);
+            }
+        });
+    }
+
+    fn hadamard_conj32(&self, a: &[Complex32], b: &[Complex32], out: &mut [Complex32]) {
+        precision::hadamard_conj32(a, b, out);
+    }
+
+    fn hadamard_acc_promote(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    ) {
+        precision::hadamard_acc_promote(w, a, b, acc, comp);
+    }
+
+    fn hadamard_acc_promote_conj(
+        &self,
+        w: f64,
+        a: &[Complex32],
+        b: &[Complex32],
+        acc: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    ) {
+        precision::hadamard_acc_promote_conj(w, a, b, acc, comp);
+    }
+
+    fn transform_batch32(&self, pass: &dyn GridTransform32, data: &mut [Complex32], count: usize) {
+        let n = pass.grid_len();
+        assert_eq!(data.len(), count * n, "transform_batch32 length mismatch");
+        if count == 0 {
+            return;
+        }
+        let scratch_len = pass.scratch_len();
+        let workers = if data.len() < MIN_BATCH_PARALLEL { 1 } else { num_threads(count) };
+        if workers == 1 {
+            let mut scratch = self.pool32.take_garbage(scratch_len);
+            for grid in data.chunks_mut(n) {
+                pass.run(grid, &mut scratch);
+            }
+            self.pool32.put(scratch);
+            return;
+        }
+        // Slab decomposition with one pooled fp32 arena per worker —
+        // the same multi-batch strategy as the fp64 path at half the
+        // memory traffic.
+        let per_worker = count.div_ceil(workers);
+        std::thread::scope(|s| {
+            for slab in data.chunks_mut(per_worker * n) {
+                s.spawn(|| {
+                    let mut scratch = self.pool32.take_garbage(scratch_len);
+                    for grid in slab.chunks_mut(n) {
+                        pass.run(grid, &mut scratch);
+                    }
+                    self.pool32.put(scratch);
+                });
+            }
+        });
+    }
+
+    fn take_scratch32(&self, len: usize) -> Vec<Complex32> {
+        self.pool32.take_garbage(len)
+    }
+
+    fn recycle_buffer32(&self, buf: Vec<Complex32>) {
+        self.pool32.put(buf);
     }
 }
 

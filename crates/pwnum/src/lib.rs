@@ -24,6 +24,11 @@
 //!   [`backend::Reference`] (the scalar/threaded kernels above) and
 //!   [`backend::Blocked`] (cache-blocked, accelerator-style)
 //!   implementations — the swap-in seam for SIMD/GPU ports.
+//! * [`precision`] — the mixed-precision subsystem: the `Complex32`
+//!   scalar with `CVec32`/`CMat32` storage, demote/promote conversion
+//!   kernels, two-sum-compensated fp64 accumulation, and the
+//!   [`PrecisionPolicy`] mapping pipeline stages to fp64/fp32 — the
+//!   paper's fp32 exchange/FFT playbook for throughput hardware.
 //!
 //! No external math dependencies: every routine is implemented here and
 //! validated by unit + property tests.
@@ -38,8 +43,10 @@ pub mod eig;
 pub mod gemm;
 pub mod lstsq;
 pub mod parallel;
+pub mod precision;
 
 pub use backend::{Backend, BackendHandle};
 pub use cmat::CMat;
 pub use complex::{c64, Complex64};
 pub use eig::{eigh, EigH};
+pub use precision::{c32, CMat32, CVec32, Complex32, PrecisionPolicy, StagePrecision};

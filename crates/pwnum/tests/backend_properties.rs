@@ -4,10 +4,11 @@
 //! ops — the contract that makes the backend seam safe to swap.
 
 use proptest::prelude::*;
-use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform};
+use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform, GridTransform32};
 use pwnum::cmat::CMat;
 use pwnum::complex::{c64, Complex64};
 use pwnum::gemm::Op;
+use pwnum::precision::{self, c32, CMat32, Complex32};
 
 fn pair() -> (BackendHandle, BackendHandle) {
     (by_name("reference").unwrap(), by_name("blocked").unwrap())
@@ -38,6 +39,26 @@ impl GridTransform for ShiftPass {
         self.n
     }
     fn run(&self, grid: &mut [Complex64], scratch: &mut [Complex64]) {
+        scratch[..self.n].copy_from_slice(grid);
+        for i in 0..self.n {
+            grid[i] = scratch[(i + 1) % self.n].scale(1.5);
+        }
+    }
+}
+
+/// fp32 twin of [`ShiftPass`] for `transform_batch32` semantics.
+struct ShiftPass32 {
+    n: usize,
+}
+
+impl GridTransform32 for ShiftPass32 {
+    fn grid_len(&self) -> usize {
+        self.n
+    }
+    fn scratch_len(&self) -> usize {
+        self.n
+    }
+    fn run(&self, grid: &mut [Complex32], scratch: &mut [Complex32]) {
         scratch[..self.n].copy_from_slice(grid);
         for i in 0..self.n {
             grid[i] = scratch[(i + 1) % self.n].scale(1.5);
@@ -165,6 +186,143 @@ proptest! {
         r.transform_batch(&pass, &mut dr, 11);
         bl.transform_batch(&pass, &mut db, 11);
         prop_assert!(pwnum::cvec::max_abs_diff(&dr, &db) < 1e-14);
+    }
+
+    // ------------------------------------------------------------------
+    // fp32 / mixed-precision primitives: demote/promote roundtrip error
+    // bounds, and *exact* Reference-vs-Blocked agreement on every fp32
+    // kernel (reduced precision must not compound with backend
+    // summation-order differences).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn demote_promote_roundtrip_bounded(x in block_strategy(257)) {
+        // Round-to-nearest demotion: per-component relative error is at
+        // most 2^-24, and promotion back is exact.
+        let down = precision::demote(&x);
+        let up = precision::promote(&down);
+        for (a, b) in x.iter().zip(&up) {
+            prop_assert!((a.re - b.re).abs() <= a.re.abs() * 2f64.powi(-24));
+            prop_assert!((a.im - b.im).abs() <= a.im.abs() * 2f64.powi(-24));
+        }
+        prop_assert!(precision::demote(&up) == down, "fp32->fp64->fp32 must be lossless");
+    }
+
+    #[test]
+    fn gemm32_agrees_exactly_all_ops(
+        a in cmat_strategy(6, 4),
+        b in cmat_strategy(4, 7),
+        at in cmat_strategy(4, 6),
+        bt in cmat_strategy(7, 4),
+        alpha in (-2.0f64..2.0, -2.0f64..2.0),
+    ) {
+        let (r, bl) = pair();
+        let a = CMat32::from_c64(&a);
+        let b = CMat32::from_c64(&b);
+        let at = CMat32::from_c64(&at);
+        let bt = CMat32::from_c64(&bt);
+        let alpha = c32(alpha.0 as f32, alpha.1 as f32);
+        for (op_a, aa) in [(Op::None, &a), (Op::Trans, &at), (Op::ConjTrans, &at)] {
+            for (op_b, bb) in [(Op::None, &b), (Op::Trans, &bt), (Op::ConjTrans, &bt)] {
+                let want = r.gemm32(alpha, aa, op_a, bb, op_b);
+                let got = bl.gemm32(alpha, aa, op_a, bb, op_b);
+                prop_assert!(
+                    want.max_abs_diff(&got) == 0.0,
+                    "gemm32 {:?}/{:?}", op_a, op_b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn band_ops32_agree_exactly(
+        a in block_strategy(7 * 33),
+        b in block_strategy(5 * 33),
+        q in cmat_strategy(7, 6),
+        seed in block_strategy(6 * 33),
+        scale in 0.1f64..3.0,
+        alpha in (-2.0f64..2.0, -2.0f64..2.0),
+    ) {
+        let (r, bl) = pair();
+        let a32 = precision::demote(&a);
+        let b32 = precision::demote(&b);
+        let q32 = CMat32::from_c64(&q);
+        let sr = r.overlap32(&a32, &b32, 33, scale as f32);
+        let sb = bl.overlap32(&a32, &b32, 33, scale as f32);
+        prop_assert!(sr.max_abs_diff(&sb) == 0.0, "overlap32");
+
+        let alpha = c32(alpha.0 as f32, alpha.1 as f32);
+        let mut acc_r = precision::demote(&seed);
+        let mut acc_b = acc_r.clone();
+        r.rotate_acc32(alpha, &a32, &q32, 33, &mut acc_r);
+        bl.rotate_acc32(alpha, &a32, &q32, 33, &mut acc_b);
+        prop_assert!(
+            precision::max_abs_diff32(&acc_r, &acc_b) == 0.0,
+            "rotate_acc32"
+        );
+    }
+
+    #[test]
+    fn elementwise32_agree_exactly(
+        a in block_strategy(64),
+        b in block_strategy(64),
+        seed in block_strategy(64),
+        k in proptest::collection::vec(-2.0f64..2.0, 16),
+        w in -2.0f64..2.0,
+    ) {
+        let (r, bl) = pair();
+        let a32 = precision::demote(&a);
+        let b32 = precision::demote(&b);
+        let k32 = precision::demote_real(&k);
+
+        let mut hr = vec![Complex32::ZERO; 64];
+        let mut hb = hr.clone();
+        r.hadamard_conj32(&a32, &b32, &mut hr);
+        bl.hadamard_conj32(&a32, &b32, &mut hb);
+        prop_assert!(precision::max_abs_diff32(&hr, &hb) == 0.0, "hadamard_conj32");
+
+        let mut fr = a32.clone();
+        let mut fb = a32.clone();
+        r.scale_by_real32(&k32, &mut fr);
+        bl.scale_by_real32(&k32, &mut fb);
+        prop_assert!(precision::max_abs_diff32(&fr, &fb) == 0.0, "scale_by_real32");
+
+        // Promote-accumulate into fp64 targets: plain and two-sum
+        // compensated, direct and conjugated — all exact across
+        // backends.
+        let mut acc_r = seed.clone();
+        let mut acc_b = seed.clone();
+        r.hadamard_acc_promote(w, &a32, &b32, &mut acc_r, None);
+        bl.hadamard_acc_promote(w, &a32, &b32, &mut acc_b, None);
+        prop_assert!(pwnum::cvec::max_abs_diff(&acc_r, &acc_b) == 0.0);
+
+        let mut comp_r = vec![Complex64::ZERO; 64];
+        let mut comp_b = comp_r.clone();
+        r.hadamard_acc_promote_conj(w, &a32, &b32, &mut acc_r, Some(&mut comp_r));
+        bl.hadamard_acc_promote_conj(w, &a32, &b32, &mut acc_b, Some(&mut comp_b));
+        prop_assert!(pwnum::cvec::max_abs_diff(&acc_r, &acc_b) == 0.0);
+        prop_assert!(pwnum::cvec::max_abs_diff(&comp_r, &comp_b) == 0.0);
+
+        // The promote kernels degenerate to the fp64 kernels on
+        // fp32-exact inputs.
+        let a64 = precision::promote(&a32);
+        let b64 = precision::promote(&b32);
+        let mut want = seed.clone();
+        let mut got = seed;
+        r.hadamard_acc(Complex64::from_re(w), &a64, &b64, &mut want);
+        r.hadamard_acc_promote(w, &a32, &b32, &mut got, None);
+        prop_assert!(pwnum::cvec::max_abs_diff(&want, &got) == 0.0);
+    }
+
+    #[test]
+    fn transform_batch32_agrees_exactly(data in block_strategy(11 * 13)) {
+        let (r, bl) = pair();
+        let pass = ShiftPass32 { n: 13 };
+        let mut dr = precision::demote(&data);
+        let mut db = dr.clone();
+        r.transform_batch32(&pass, &mut dr, 11);
+        bl.transform_batch32(&pass, &mut db, 11);
+        prop_assert!(precision::max_abs_diff32(&dr, &db) == 0.0);
     }
 }
 

@@ -14,6 +14,10 @@
 //!   ≥ 1.4× the fp64 pipeline on Fock `apply_pure` at N = 64 (Blocked
 //!   backend), with the 20-step dipole trace within 1e-6 of the fp64
 //!   run and the apply-level relative error at fp32 scale (≤ 1e-5).
+//! * `BENCH_dist_overlap.json` — the ring-pipelined overlapped exchange
+//!   must beat the blocking ring by ≥ 1.25× in simulated step time at
+//!   16 ranks, hiding ≥ 50% of the exchange wire time (these are
+//!   virtual-clock measurements, so the gate is deterministic).
 
 use std::process::ExitCode;
 
@@ -73,6 +77,26 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 metric: "dipole_err",
                 min: None,
                 max: Some(1e-6),
+            },
+        ]),
+        "BENCH_dist_overlap.json" => Some(vec![
+            MetricGate {
+                what: "RingOverlap speedup over blocking ring at 16 ranks",
+                select_key: "ranks",
+                select_val: 16.0,
+                exclude: None,
+                metric: "speedup",
+                min: Some(1.25),
+                max: None,
+            },
+            MetricGate {
+                what: "overlap efficiency (hidden/total wire time) at 16 ranks",
+                select_key: "ranks",
+                select_val: 16.0,
+                exclude: None,
+                metric: "overlap_efficiency",
+                min: Some(0.5),
+                max: None,
             },
         ]),
         _ => None,
@@ -143,6 +167,7 @@ fn main() -> ExitCode {
         vec![
             format!("{dir}/BENCH_fock_pairsym.json"),
             format!("{dir}/BENCH_mixed_precision.json"),
+            format!("{dir}/BENCH_dist_overlap.json"),
         ]
     } else {
         args

@@ -214,24 +214,47 @@ impl Comm {
 
     /// Personalized all-to-all: `chunks[d]` is sent to rank `d`; returns
     /// the vector of chunks received (indexed by source). Pairwise
-    /// exchange, `p-1` rounds.
-    pub fn alltoallv<T: Send + Clone + 'static>(&mut self, mut chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        let p = self.size();
-        assert_eq!(chunks.len(), p, "alltoallv needs one chunk per rank");
-        let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-        out[self.rank()] = std::mem::take(&mut chunks[self.rank()]);
-        for k in 1..p {
-            let dst = (self.rank() + k) % p;
-            let src = (self.rank() + p - k) % p;
-            let tag = tag_internal(TAG_ALLTOALLV, k as u64, 0);
+    /// exchange, `p-1` rounds — the world-sized special case of
+    /// [`Comm::alltoallv_group`].
+    pub fn alltoallv<T: Send + Clone + 'static>(&mut self, chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let members: Vec<usize> = (0..self.size()).collect();
+        self.alltoallv_group(&members, chunks)
+    }
+
+    /// Personalized all-to-all restricted to a rank group (the
+    /// sub-communicator transpose of the 2-D band×grid layout): `members`
+    /// lists the group's world ranks in slab order — identical on every
+    /// member — and `chunks[i]` is sent to `members[i]`. Returns the
+    /// chunks received, indexed by group position. Pairwise exchange,
+    /// `members.len() - 1` rounds; disjoint groups can run concurrently
+    /// (tags are salted by the group's first member, and the rank pairs
+    /// never cross group boundaries).
+    pub fn alltoallv_group<T: Send + Clone + 'static>(
+        &mut self,
+        members: &[usize],
+        mut chunks: Vec<Vec<T>>,
+    ) -> Vec<Vec<T>> {
+        let g = members.len();
+        assert_eq!(chunks.len(), g, "alltoallv_group needs one chunk per member");
+        let me = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("alltoallv_group caller must be a group member");
+        let mut out: Vec<Vec<T>> = (0..g).map(|_| Vec::new()).collect();
+        out[me] = std::mem::take(&mut chunks[me]);
+        let salt = members[0] as u64;
+        for k in 1..g {
+            let dst = (me + k) % g;
+            let src = (me + g - k) % g;
+            let tag = tag_internal(TAG_ALLTOALLV, k as u64, salt);
             let payload = std::mem::take(&mut chunks[dst]);
             let bytes = payload.byte_len();
-            self.post(dst, tag, Box::new(payload), bytes);
-            let env = self.take_env(src, tag, Category::Alltoallv);
+            self.post(members[dst], tag, Box::new(payload), bytes);
+            let env = self.take_env(members[src], tag, Category::Alltoallv);
             out[src] = *env
                 .payload
                 .downcast::<Vec<T>>()
-                .unwrap_or_else(|_| panic!("alltoallv type mismatch"));
+                .unwrap_or_else(|_| panic!("alltoallv_group type mismatch"));
         }
         out
     }
@@ -287,7 +310,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::comm::Cluster;
+    use crate::comm::{Cluster, Comm};
     use crate::stats::Category;
     use crate::topology::NetworkModel;
 
@@ -342,6 +365,46 @@ mod tests {
             for (src, chunk) in recv.iter().enumerate() {
                 assert_eq!(chunk, &vec![(src * 10 + rank) as u64]);
             }
+        }
+    }
+
+    #[test]
+    fn alltoallv_group_transposes_within_disjoint_rows() {
+        // 2 disjoint groups of 3 ranks exchange concurrently; each must
+        // see exactly its own group's chunks, in group order.
+        let p = 6;
+        let out = Cluster::ideal(p).run(|c| {
+            let members: Vec<usize> =
+                if c.rank() < 3 { vec![0, 1, 2] } else { vec![3, 4, 5] };
+            let chunks: Vec<Vec<u64>> = members
+                .iter()
+                .map(|&d| vec![(c.rank() * 100 + d) as u64])
+                .collect();
+            c.alltoallv_group(&members, chunks)
+        });
+        for (rank, (recv, _)) in out.iter().enumerate() {
+            let members: [usize; 3] = if rank < 3 { [0, 1, 2] } else { [3, 4, 5] };
+            assert_eq!(recv.len(), 3);
+            for (pos, chunk) in recv.iter().enumerate() {
+                assert_eq!(chunk, &vec![(members[pos] * 100 + rank) as u64], "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_group_of_all_matches_alltoallv() {
+        let p = 4;
+        let out = Cluster::ideal(p).run(|c| {
+            let make = |c: &Comm| -> Vec<Vec<u64>> {
+                (0..p).map(|d| vec![(c.rank() * 10 + d) as u64, 42]).collect()
+            };
+            let members: Vec<usize> = (0..p).collect();
+            let grouped = c.alltoallv_group(&members, make(c));
+            let flat = c.alltoallv(make(c));
+            grouped == flat
+        });
+        for (same, _) in &out {
+            assert!(same);
         }
     }
 

@@ -62,6 +62,8 @@ impl Payload for usize {
 pub(crate) struct Envelope {
     pub src: usize,
     pub tag: Tag,
+    /// Sender's virtual clock when the message was posted.
+    pub sent: f64,
     /// Virtual time at which the message is fully available at the receiver.
     pub arrival: f64,
     pub payload: Box<dyn Any + Send>,
@@ -70,6 +72,9 @@ pub(crate) struct Envelope {
 struct Mailbox {
     rx: Receiver<Envelope>,
     pending: VecDeque<Envelope>,
+    /// The sender side hung up (its rank returned): no further envelopes
+    /// can ever arrive beyond what `pending` already holds.
+    disconnected: bool,
 }
 
 impl Mailbox {
@@ -85,13 +90,54 @@ impl Mailbox {
             self.pending.push_back(env);
         }
     }
+
+    /// Moves every physically delivered envelope into the pending queue
+    /// without blocking; records sender hang-up.
+    fn drain(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => self.pending.push_back(env),
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Non-consuming lookup of the first delivered envelope with `tag`.
+    fn peek(&mut self, tag: Tag) -> Option<&Envelope> {
+        self.drain();
+        self.pending.iter().find(|e| e.tag == tag)
+    }
+
+    /// True when no envelope with `tag` is pending and none can ever
+    /// arrive (sender hung up) — the waitany analog of `take`'s
+    /// terminated-peer panic condition.
+    fn hopeless(&mut self, tag: Tag) -> bool {
+        self.drain();
+        self.disconnected && !self.pending.iter().any(|e| e.tag == tag)
+    }
 }
 
-/// Handle for a pending nonblocking operation.
+/// Handle for a pending nonblocking operation, completed with
+/// [`Comm::wait`]/[`Comm::waitany`] and probed (non-consuming) with
+/// [`Comm::test`].
 #[must_use = "nonblocking operations must be completed with Comm::wait"]
 pub enum Request {
     /// A posted receive; completed (and timed) by `wait`.
-    Recv { src: usize, tag: Tag },
+    Recv {
+        /// Source rank the receive was posted against.
+        src: usize,
+        /// Matching tag.
+        tag: Tag,
+        /// `Compute`-category time already accumulated when the receive
+        /// was posted — the baseline for the overlap metric: only
+        /// computation performed *after* the post can have hidden the
+        /// transfer.
+        posted_compute: f64,
+    },
     /// A send that already left; `wait` is a no-op.
     Send,
 }
@@ -178,7 +224,7 @@ impl Comm {
             self.clock + self.net.transfer_time(self.node(), self.node_of(dst), bytes);
         self.stats.bytes_sent += bytes as u64;
         self.senders[dst]
-            .send(Envelope { src: self.rank, tag, arrival, payload })
+            .send(Envelope { src: self.rank, tag, sent: self.clock, arrival, payload })
             .expect("destination rank terminated");
     }
 
@@ -234,19 +280,107 @@ impl Comm {
 
     /// Nonblocking receive: returns a handle to complete with [`Comm::wait`].
     pub fn irecv(&mut self, src: usize, tag: Tag) -> Request {
-        Request::Recv { src, tag }
+        Request::Recv { src, tag, posted_compute: self.stats.time(Category::Compute) }
     }
 
     /// Completes a nonblocking operation, accounting blocked time under
-    /// `Wait` (the `MPI_Wait` column of Table I).
+    /// `Wait` (the `MPI_Wait` column of Table I). The message's full
+    /// transfer time and the part of it hidden behind computation feed
+    /// the overlap-efficiency metric
+    /// ([`Stats::overlap_efficiency`](crate::stats::Stats::overlap_efficiency)).
     pub fn wait<T: Payload>(&mut self, req: Request) -> Option<T> {
         match req {
             Request::Send => None,
-            Request::Recv { src, tag } => {
+            Request::Recv { src, tag, posted_compute } => {
+                let before = self.clock;
                 let env = self.take_env(src, tag, Category::Wait);
+                self.account_overlap(&env, before, posted_compute);
                 Some(Self::downcast(env))
             }
         }
+    }
+
+    /// Non-consuming completion probe (the `MPI_Test` analog, minus the
+    /// consume-on-success): `true` when completing the request now would
+    /// not block — for a posted receive, the message is delivered *and*
+    /// its virtual arrival time is at or before the current clock. Costs
+    /// no virtual time; the request stays valid and must still be
+    /// completed with [`Comm::wait`]/[`Comm::waitany`]. This is the
+    /// progress hook the ring-pipelined exchange calls between pair
+    /// tiles, standing in for the progress an MPI implementation makes
+    /// inside `MPI_Test` polling loops.
+    pub fn test(&mut self, req: &Request) -> bool {
+        match req {
+            Request::Send => true,
+            Request::Recv { src, tag, .. } => self.mailboxes[*src]
+                .peek(*tag)
+                .is_some_and(|env| env.arrival <= self.clock),
+        }
+    }
+
+    /// Completes exactly one of `reqs` (the `MPI_Waitany` analog):
+    /// removes the completed request from the vector and returns its
+    /// original index plus the payload (`None` for sends, which complete
+    /// immediately). Among posted receives the earliest delivered virtual
+    /// arrival wins; blocked time is charged to `Wait` and the overlap
+    /// metric is updated exactly as in [`Comm::wait`].
+    ///
+    /// Panics when `reqs` is empty.
+    pub fn waitany<T: Payload>(&mut self, reqs: &mut Vec<Request>) -> (usize, Option<T>) {
+        assert!(!reqs.is_empty(), "waitany needs at least one request");
+        if let Some(i) = reqs.iter().position(|r| matches!(r, Request::Send)) {
+            let Request::Send = reqs.remove(i) else { unreachable!() };
+            return (i, None);
+        }
+        loop {
+            // Find the delivered receive with the earliest arrival.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, req) in reqs.iter().enumerate() {
+                let Request::Recv { src, tag, .. } = req else {
+                    unreachable!("sends handled above")
+                };
+                if let Some(env) = self.mailboxes[*src].peek(*tag) {
+                    if best.is_none_or(|(_, a)| env.arrival < a) {
+                        best = Some((i, env.arrival));
+                    }
+                }
+            }
+            if let Some((i, _)) = best {
+                let Request::Recv { src, tag, posted_compute } = reqs.remove(i) else {
+                    unreachable!()
+                };
+                let before = self.clock;
+                let env = self.take_env(src, tag, Category::Wait);
+                self.account_overlap(&env, before, posted_compute);
+                return (i, Some(Self::downcast(env)));
+            }
+            // Nothing delivered anywhere. If no pending source can ever
+            // deliver again, fail loudly like the blocking path does
+            // instead of spinning forever.
+            let hopeless = reqs.iter().all(|req| {
+                let Request::Recv { src, tag, .. } = req else { unreachable!() };
+                self.mailboxes[*src].hopeless(*tag)
+            });
+            assert!(!hopeless, "peer rank terminated while messages were expected");
+            // Let the sender threads run.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Splits a completed nonblocking message's wire time into the
+    /// visible part (what the wait just blocked for) and the hidden part
+    /// — transfer that elapsed behind *computation* performed since the
+    /// receive was posted. Clock advance caused by blocking in other
+    /// waits does not count as hidden, so the metric keeps its meaning
+    /// with several requests in flight.
+    fn account_overlap(&mut self, env: &Envelope, clock_before_wait: f64, posted_compute: f64) {
+        let transfer = (env.arrival - env.sent).max(0.0);
+        let visible = self.clock - clock_before_wait;
+        let compute_since_post =
+            (self.stats.time(Category::Compute) - posted_compute).max(0.0);
+        self.stats.overlap_total_s += transfer;
+        self.stats.overlap_hidden_s +=
+            (transfer - visible).max(0.0).min(compute_since_post);
     }
 
     /// Dissemination barrier over all ranks (also synchronizes virtual
@@ -366,7 +500,11 @@ impl Cluster {
                     (0..p).map(|dst| txs[rank][dst].clone()).collect();
                 let mailboxes: Vec<Mailbox> = rx_row
                     .iter_mut()
-                    .map(|r| Mailbox { rx: r.take().expect("receiver moved twice"), pending: VecDeque::new() })
+                    .map(|r| Mailbox {
+                        rx: r.take().expect("receiver moved twice"),
+                        pending: VecDeque::new(),
+                        disconnected: false,
+                    })
                     .collect();
                 let net = Arc::clone(&net);
                 let shm = Arc::clone(&shm);
@@ -394,6 +532,12 @@ impl Cluster {
                     *slot.lock() = Some((out, report));
                 }));
             }
+            // Release the construction-time sender originals: from here
+            // every mailbox's only senders are the clones owned by the
+            // rank threads, so a rank that finishes (or dies) hangs up
+            // its channels and blocked peers fail loudly ("peer rank
+            // terminated") instead of spinning forever.
+            drop(txs);
             for h in handles {
                 if let Err(e) = h.join() {
                     std::panic::resume_unwind(e);
@@ -470,6 +614,195 @@ mod tests {
         assert_eq!(out[0].0, vec![20]);
         assert_eq!(out[1].0, vec![0]);
         assert_eq!(out[2].0, vec![10]);
+    }
+
+    #[test]
+    fn test_probe_is_nonconsuming() {
+        let out = Cluster::ideal(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![1.5f64, 2.5]);
+                true
+            } else {
+                let req = c.irecv(0, 5);
+                // Ideal network: arrival == 0 <= clock, so the probe turns
+                // true as soon as the message is physically delivered.
+                while !c.test(&req) {
+                    std::thread::yield_now();
+                }
+                // Non-consuming: probing again still succeeds, and the
+                // request can still be completed normally.
+                assert!(c.test(&req));
+                let v: Vec<f64> = c.wait(req).expect("payload");
+                v == vec![1.5, 2.5]
+            }
+        });
+        assert!(out[1].0);
+    }
+
+    #[test]
+    fn test_probe_respects_virtual_arrival() {
+        // 1 MB at 1 GB/s: arrival is 1 ms in the future, so the probe
+        // stays false until computation advances the clock past it.
+        let net = NetworkModel {
+            topology: crate::topology::Topology::FullyConnected,
+            hop_latency: 0.0,
+            sw_overhead: 0.0,
+            bandwidth: 1e9,
+            shm_bandwidth: f64::INFINITY,
+            shm_latency: 0.0,
+        };
+        let out = Cluster::new(2, 1, net).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![0u8; 1_000_000]);
+                (true, 0.0)
+            } else {
+                let req = c.irecv(0, 3);
+                // Before any modeled compute the message cannot have
+                // arrived in virtual time, delivered or not.
+                let early = c.test(&req);
+                c.compute(2e-3); // clock now past the 1 ms arrival
+                while !c.test(&req) {
+                    std::thread::yield_now();
+                }
+                let _ = c.wait::<Vec<u8>>(req).expect("payload");
+                // Fully hidden: the wait itself blocked for no time.
+                (early, c.stats.time(Category::Wait))
+            }
+        });
+        assert!(!out[1].0 .0, "probe must be false before the virtual arrival");
+        assert!(out[1].0 .1 < 1e-12, "wait after overlap must be free");
+        assert!(out[1].1.stats.overlap_efficiency() > 0.999);
+    }
+
+    #[test]
+    fn waitany_completes_earliest_arrival_first() {
+        let net = NetworkModel {
+            topology: crate::topology::Topology::FullyConnected,
+            hop_latency: 0.0,
+            sw_overhead: 0.0,
+            bandwidth: 1e9,
+            shm_bandwidth: 1e9,
+            shm_latency: 0.0,
+        };
+        let out = Cluster::new(2, 1, net).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 10, vec![0u8; 1_000_000]); // arrives at 1 ms
+                c.send(1, 11, vec![7u8; 1_000]); // arrives at ~1 µs
+                c.send(1, 12, vec![0u8]); // flag
+                vec![]
+            } else {
+                // Draining the flag first forces both data envelopes into
+                // the pending queue, making the race-free ordering
+                // deterministic.
+                let _ = c.recv::<Vec<u8>>(0, 12);
+                let mut reqs = vec![c.irecv(0, 10), c.irecv(0, 11)];
+                let (i1, p1) = c.waitany::<Vec<u8>>(&mut reqs);
+                let (i2, p2) = c.waitany::<Vec<u8>>(&mut reqs);
+                assert!(reqs.is_empty());
+                vec![
+                    (i1, p1.expect("first payload").len()),
+                    (i2, p2.expect("second payload").len()),
+                ]
+            }
+        });
+        // The small message (index 1 in the original vec) completes first.
+        assert_eq!(out[1].0[0], (1, 1_000));
+        assert_eq!(out[1].0[1], (0, 1_000_000));
+    }
+
+    #[test]
+    fn waitany_completes_sends_immediately() {
+        let out = Cluster::ideal(2).run(|c| {
+            if c.rank() == 0 {
+                let mut reqs = vec![c.irecv(1, 2), c.isend(1, 1, vec![5u64])];
+                let (i, p) = c.waitany::<Vec<u64>>(&mut reqs);
+                assert_eq!((i, p), (1, None), "send completes first, no payload");
+                let (i, p) = c.waitany::<Vec<u64>>(&mut reqs);
+                assert_eq!(i, 0);
+                p.expect("recv payload")
+            } else {
+                let v = c.recv::<Vec<u64>>(0, 1);
+                c.send(0, 2, v.clone());
+                v
+            }
+        });
+        assert_eq!(out[0].0, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "peer rank terminated")]
+    fn waitany_panics_when_peer_exits_without_sending() {
+        Cluster::ideal(2).run(|c| {
+            if c.rank() == 1 {
+                let mut reqs = vec![c.irecv(0, 99)];
+                let _ = c.waitany::<Vec<f64>>(&mut reqs);
+            }
+            // Rank 0 returns immediately, hanging up its channels.
+        });
+    }
+
+    #[test]
+    fn overlap_hidden_capped_by_compute_since_post() {
+        // Two receives in flight, zero compute: waiting out the slow one
+        // advances the clock past the fast one's arrival, but that wait
+        // time is NOT compute — nothing may count as hidden.
+        let net = NetworkModel {
+            topology: crate::topology::Topology::FullyConnected,
+            hop_latency: 0.0,
+            sw_overhead: 0.0,
+            bandwidth: 1e9,
+            shm_bandwidth: f64::INFINITY,
+            shm_latency: 0.0,
+        };
+        let out = Cluster::new(2, 1, net).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0u8; 2_000_000]); // 2 ms
+                c.send(1, 2, vec![0u8; 1_000_000]); // 1 ms
+                0.0
+            } else {
+                let slow = c.irecv(0, 1);
+                let fast = c.irecv(0, 2);
+                let _ = c.wait::<Vec<u8>>(slow).expect("slow");
+                let _ = c.wait::<Vec<u8>>(fast).expect("fast");
+                c.stats.overlap_hidden_s
+            }
+        });
+        assert!(
+            out[1].0 < 1e-12,
+            "wait-blocked time must not count as hidden compute: {}",
+            out[1].0
+        );
+        assert!(out[1].1.stats.overlap_total_s > 2.9e-3);
+    }
+
+    #[test]
+    fn overlap_metric_splits_hidden_and_visible() {
+        let net = NetworkModel {
+            topology: crate::topology::Topology::FullyConnected,
+            hop_latency: 0.0,
+            sw_overhead: 0.0,
+            bandwidth: 1e9,
+            shm_bandwidth: f64::INFINITY,
+            shm_latency: 0.0,
+        };
+        // 2 MB transfer = 2 ms; only 0.5 ms of compute overlaps, so 75%
+        // of the wire time must stay visible in Wait and 25% be hidden.
+        let out = Cluster::new(2, 1, net).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 4, vec![0u8; 2_000_000]);
+                0.0
+            } else {
+                let req = c.irecv(0, 4);
+                c.compute(0.5e-3);
+                let _ = c.wait::<Vec<u8>>(req).expect("payload");
+                c.stats.time(Category::Wait)
+            }
+        });
+        let stats = &out[1].1.stats;
+        assert!((out[1].0 - 1.5e-3).abs() < 1e-9, "visible wait {}", out[1].0);
+        assert!((stats.overlap_total_s - 2.0e-3).abs() < 1e-9);
+        assert!((stats.overlap_hidden_s - 0.5e-3).abs() < 1e-9);
+        assert!((stats.overlap_efficiency() - 0.25).abs() < 1e-6);
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub struct Stats {
     /// Bytes the rank *would* have allocated without the SHM mechanism
     /// (for the memory-saving comparison of Sec. IV-B3).
     pub unshared_equivalent_bytes: u64,
+    /// Total wire time of messages completed through nonblocking waits
+    /// (`wait`/`waitany`): the sum of each message's full transfer time.
+    pub overlap_total_s: f64,
+    /// The part of `overlap_total_s` that was *hidden* behind computation
+    /// — transfer time that had already elapsed on the virtual clock when
+    /// the wait was issued, so it never blocked the rank. The visible
+    /// remainder is what lands in the `Wait` category.
+    pub overlap_hidden_s: f64,
 }
 
 impl Stats {
@@ -82,6 +90,20 @@ impl Stats {
     /// Number of operations recorded in a category.
     pub fn count(&self, cat: Category) -> u64 {
         self.count.get(&cat).copied().unwrap_or(0)
+    }
+
+    /// Fraction of nonblocking transfer time hidden behind computation:
+    /// `overlap_hidden_s / overlap_total_s` (0 when no nonblocking
+    /// message has completed). This is the overlap-efficiency metric of
+    /// the ring-pipelined exchange: 1.0 means every transfer finished
+    /// while the rank was computing, 0.0 means every transfer was waited
+    /// out in full.
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.overlap_total_s <= 0.0 {
+            0.0
+        } else {
+            self.overlap_hidden_s / self.overlap_total_s
+        }
     }
 
     /// Total communication time (everything except `Compute`).
@@ -108,6 +130,8 @@ impl Stats {
         self.shm_bytes = self.shm_bytes.max(other.shm_bytes);
         self.unshared_equivalent_bytes =
             self.unshared_equivalent_bytes.max(other.unshared_equivalent_bytes);
+        self.overlap_total_s = self.overlap_total_s.max(other.overlap_total_s);
+        self.overlap_hidden_s = self.overlap_hidden_s.max(other.overlap_hidden_s);
     }
 }
 
@@ -155,6 +179,21 @@ mod tests {
         a.merge_max(&b);
         assert!((a.time(Category::Sendrecv) - 3.0).abs() < 1e-15);
         assert_eq!(a.bytes_sent, 10);
+    }
+
+    #[test]
+    fn overlap_efficiency_bounds() {
+        let mut s = Stats::default();
+        assert_eq!(s.overlap_efficiency(), 0.0, "no messages => 0");
+        s.overlap_total_s = 4.0;
+        s.overlap_hidden_s = 3.0;
+        assert!((s.overlap_efficiency() - 0.75).abs() < 1e-15);
+        let mut other = Stats::default();
+        other.overlap_total_s = 8.0;
+        other.overlap_hidden_s = 1.0;
+        s.merge_max(&other);
+        assert!((s.overlap_total_s - 8.0).abs() < 1e-15);
+        assert!((s.overlap_hidden_s - 3.0).abs() < 1e-15);
     }
 
     #[test]

@@ -14,9 +14,16 @@
 //!   (`MPI_Sendrecv`, Fig. 5b);
 //! * [`ExchangeStrategy::AsyncRing`] — nonblocking rotation overlapping
 //!   the Poisson solves with communication (`MPI_Isend/Irecv/Wait`,
-//!   Fig. 5c).
+//!   Fig. 5c);
+//! * [`ExchangeStrategy::RingOverlap`] — the hierarchical subsystem's
+//!   ring-pipelined exchange ([`crate::grid2d`]): double-buffered
+//!   `isend`/`irecv` posted before the pair-tile solves, `MPI_Test`-style
+//!   progress probes between tiles, solves routed through the batched
+//!   pair schedulers (symmetric halving + precision policy), and the
+//!   hidden/visible transfer split recorded as the overlap-efficiency
+//!   metric ([`mpisim::Stats::overlap_efficiency`]).
 //!
-//! All three produce the same physics (unit-tested against the serial
+//! All strategies produce the same physics (unit-tested against the serial
 //! code); they differ in which timing category the virtual clock charges —
 //! exactly Table I. Optionally the replicated square matrices (σ, Φ\*Φ,
 //! Φ\*HΦ) live in node-shared SHM windows (Sec. IV-B3) to cut their
@@ -47,9 +54,34 @@ pub enum ExchangeStrategy {
     Ring,
     /// Asynchronous ring with communication/computation overlap (Fig. 5c).
     AsyncRing,
+    /// Ring-pipelined overlapped exchange via the hierarchical
+    /// [`crate::grid2d`] subsystem: transfers posted before each block's
+    /// pair-tile solves, progress probes between tiles, batched
+    /// policy-aware schedulers, per-transfer hidden/visible accounting.
+    RingOverlap,
 }
 
-/// Contiguous band distribution over ranks.
+/// How one distributed Fock exchange runs: the strategy plus the modeled
+/// per-solve compute cost the virtual clock charges between transfers —
+/// what gives the nonblocking strategies something to hide communication
+/// behind. A bare [`ExchangeStrategy`] converts to a plan with zero
+/// solve cost (data plane only; physics identical).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExchangePlan {
+    /// Communication strategy.
+    pub strategy: ExchangeStrategy,
+    /// Modeled compute seconds charged per screened-Poisson pair solve.
+    pub solve_cost_s: f64,
+}
+
+impl From<ExchangeStrategy> for ExchangePlan {
+    fn from(strategy: ExchangeStrategy) -> Self {
+        ExchangePlan { strategy, solve_cost_s: 0.0 }
+    }
+}
+
+/// Contiguous band distribution over ranks (or, in the 2-D layout, over
+/// band groups).
 #[derive(Clone, Debug)]
 pub struct BandDistribution {
     /// Total bands N.
@@ -67,17 +99,13 @@ impl BandDistribution {
 
     /// Number of bands owned by `rank`.
     pub fn count(&self, rank: usize) -> usize {
-        let base = self.n_bands / self.n_ranks;
-        base + usize::from(rank < self.n_bands % self.n_ranks)
+        self.range(rank).len()
     }
 
-    /// Global band range owned by `rank`.
+    /// Global band range owned by `rank` (the shared balanced partition,
+    /// same formula as [`crate::grid2d::GridDistribution`]).
     pub fn range(&self, rank: usize) -> std::ops::Range<usize> {
-        let mut start = 0;
-        for r in 0..rank {
-            start += self.count(r);
-        }
-        start..start + self.count(rank)
+        pwnum::parallel::block_range(self.n_bands, self.n_ranks, rank)
     }
 }
 
@@ -102,6 +130,21 @@ pub struct DistConfig {
     pub use_shm: bool,
     /// Hybrid functional parameters.
     pub hybrid: HybridParams,
+    /// Modeled compute seconds charged to the virtual clock per exchange
+    /// pair solve (see [`ExchangePlan::solve_cost_s`]); 0 keeps the step
+    /// purely data-plane as before.
+    pub solve_cost_s: f64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            strategy: ExchangeStrategy::Ring,
+            use_shm: false,
+            hybrid: HybridParams::default(),
+            solve_cost_s: 0.0,
+        }
+    }
 }
 
 /// Slices the full state into this rank's local portion (every rank holds
@@ -136,18 +179,11 @@ pub fn gather_state(comm: &mut Comm, st: &DistState, dist: &BandDistribution) ->
     TdState { phi, sigma: st.sigma.clone(), time: st.time }
 }
 
-/// Grid-point range owned by `rank` for the transpose (Fig. 1 right).
-fn grid_range(ng: usize, n_ranks: usize, rank: usize) -> std::ops::Range<usize> {
-    let base = ng / n_ranks;
-    let extra = ng % n_ranks;
-    let start = rank * base + rank.min(extra);
-    let len = base + usize::from(rank < extra);
-    start..start + len
-}
-
 /// Distributed overlap `S = A^H B` (full N×N, replicated result):
 /// band→grid transpose via `alltoallv`, local partial GEMM over the grid
-/// slice, then `allreduce` — the paper's Fig. 1 workflow.
+/// slice, then `allreduce` — the paper's Fig. 1 workflow. Grid-point
+/// ownership comes from the shared
+/// [`GridDistribution`](crate::grid2d::GridDistribution) (Fig. 1 right).
 pub fn dist_overlap(
     comm: &mut Comm,
     dist: &BandDistribution,
@@ -157,13 +193,14 @@ pub fn dist_overlap(
     let p = comm.size();
     let ng = a_local.ng;
     let n = dist.n_bands;
-    let my_grid = grid_range(ng, p, comm.rank());
+    let gdist = crate::grid2d::GridDistribution::new(ng, p);
+    let my_grid = gdist.range(comm.rank());
 
     // Transpose both blocks to grid-point distribution.
     let transpose = |comm: &mut Comm, w: &Wavefunction| -> Vec<Vec<Complex64>> {
         let chunks: Vec<Vec<Complex64>> = (0..p)
             .map(|r| {
-                let gr = grid_range(ng, p, r);
+                let gr = gdist.range(r);
                 let mut c = Vec::with_capacity(w.n_bands * gr.len());
                 for b in 0..w.n_bands {
                     c.extend_from_slice(&w.band(b)[gr.clone()]);
@@ -286,6 +323,13 @@ pub fn dist_density(
 /// self-applied callers (serial equivalents: `apply_pure`/ACE
 /// rebuilds). Occupation screening follows the operator's
 /// [`FockOptions`](pwdft::FockOptions).
+///
+/// `plan` is the strategy plus the modeled per-solve compute cost (a
+/// bare [`ExchangeStrategy`] still works and charges nothing); with a
+/// nonzero cost the virtual clock advances between transfers, which is
+/// what lets the nonblocking strategies hide wire time. Each pair solve
+/// counts toward the charge on every strategy, so simulated strategy
+/// comparisons stay apples-to-apples.
 pub fn dist_fock_apply(
     comm: &mut Comm,
     fock: &FockOperator,
@@ -293,8 +337,9 @@ pub fn dist_fock_apply(
     nat_r_local: &[Complex64],
     occ: &[f64],
     psi_r_local: &[Complex64],
-    strategy: ExchangeStrategy,
+    plan: impl Into<ExchangePlan>,
 ) -> Vec<Complex64> {
+    let plan: ExchangePlan = plan.into();
     let p = comm.size();
     let ng = fock.ng();
     let my_rank = comm.rank();
@@ -302,15 +347,39 @@ pub fn dist_fock_apply(
     let cutoff = fock.options().occ_cutoff;
     let symmetric = nat_r_local.as_ptr() == psi_r_local.as_ptr()
         && nat_r_local.len() == psi_r_local.len();
+
+    if plan.strategy == ExchangeStrategy::RingOverlap {
+        // The hierarchical subsystem's exchange on a degenerate 2-D grid
+        // (every rank its own band group): double-buffered transfers,
+        // tile-level progress probes, batched policy-aware schedulers.
+        let pgrid = crate::grid2d::ProcessGrid::new(p, p);
+        let (out, _report) = crate::grid2d::ring_overlap_fock_apply(
+            comm,
+            fock,
+            &pgrid,
+            dist,
+            None,
+            nat_r_local,
+            occ,
+            psi_r_local,
+            plan.solve_cost_s,
+        );
+        return out;
+    }
+
     let mut out = vec![Complex64::ZERO; psi_r_local.len()];
     // Pooled on the blocked backend (contents unspecified — fully
     // rewritten per pair): the ring inner loop stays allocation-free.
     let mut pair = fock.backend().take_scratch(ng);
 
+    // Returns the number of pair solves the block cost, so the caller
+    // can charge the modeled compute to the virtual clock.
     let process_block = |block: &[Complex64],
                          src_rank: usize,
                          out: &mut [Complex64],
-                         pair: &mut [Complex64]| {
+                         pair: &mut [Complex64]|
+     -> usize {
+        let mut solves = 0usize;
         let src_range = dist.range(src_rank);
         if symmetric && src_rank == my_rank {
             // Diagonal block: i ≤ j halving over the local pair set
@@ -324,6 +393,7 @@ pub fn dist_fock_apply(
                 if di_on {
                     let oi = &mut out[bi * ng..(bi + 1) * ng];
                     fock.accumulate_pair(src_i, src_i, di, oi, pair);
+                    solves += 1;
                 }
                 for bj in bi + 1..nb {
                     let dj = occ[src_range.start + bj];
@@ -342,9 +412,10 @@ pub fn dist_fock_apply(
                     } else {
                         fock.accumulate_pair(src_j, src_i, dj, oi, pair);
                     }
+                    solves += 1;
                 }
             }
-            return;
+            return solves;
         }
         for (bi, gi) in src_range.clone().enumerate() {
             let d = occ[gi];
@@ -356,18 +427,28 @@ pub fn dist_fock_apply(
                 let tgt = &psi_r_local[j * ng..(j + 1) * ng];
                 let oj = &mut out[j * ng..(j + 1) * ng];
                 fock.accumulate_pair(src_band, tgt, d, oj, pair);
+                solves += 1;
             }
+        }
+        solves
+    };
+
+    // Charges the block's modeled Poisson compute to the virtual clock.
+    let charge = |comm: &mut Comm, solves: usize| {
+        if plan.solve_cost_s > 0.0 && solves > 0 {
+            comm.compute(plan.solve_cost_s * solves as f64);
         }
     };
 
-    match strategy {
+    match plan.strategy {
         ExchangeStrategy::Bcast => {
             // Fig. 5(a): every rank broadcasts its block in turn.
             for root in 0..p {
                 let payload =
                     if comm.rank() == root { Some(nat_r_local.to_vec()) } else { None };
                 let block = comm.bcast(root, payload);
-                process_block(&block, root, &mut out, &mut pair);
+                let solves = process_block(&block, root, &mut out, &mut pair);
+                charge(comm, solves);
             }
         }
         ExchangeStrategy::Ring => {
@@ -377,7 +458,8 @@ pub fn dist_fock_apply(
             let mut block = nat_r_local.to_vec();
             for step in 0..p {
                 let src_rank = (comm.rank() + step) % p;
-                process_block(&block, src_rank, &mut out, &mut pair);
+                let solves = process_block(&block, src_rank, &mut out, &mut pair);
+                charge(comm, solves);
                 if step + 1 < p {
                     block = comm.sendrecv(left, right, 8_000 + step as u64, block);
                 }
@@ -398,12 +480,14 @@ pub fn dist_fock_apply(
                 } else {
                     None
                 };
-                process_block(&block, src_rank, &mut out, &mut pair);
+                let solves = process_block(&block, src_rank, &mut out, &mut pair);
+                charge(comm, solves);
                 if let Some(req) = pending {
                     block = comm.wait(req).expect("ring block");
                 }
             }
         }
+        ExchangeStrategy::RingOverlap => unreachable!("handled above"),
     }
     fock.backend().recycle_buffer(pair);
     out
@@ -496,8 +580,10 @@ pub fn dist_ptim_step(
         // ... plus the distributed Fock exchange.
         if cfg.hybrid.alpha != 0.0 {
             let nat_r = nat_local.to_real_all_with(&*backend, &sys.fft);
+            let plan =
+                ExchangePlan { strategy: cfg.strategy, solve_cost_s: cfg.solve_cost_s };
             let vx_r =
-                dist_fock_apply(comm, &fock, dist, &nat_r, &e.values, &psi_r, cfg.strategy);
+                dist_fock_apply(comm, &fock, dist, &nat_r, &e.values, &psi_r, plan);
             stats.fock_applies += 1;
             let mut vx = Wavefunction::from_real_with(&*backend, &sys.grid, &sys.fft, vx_r);
             vx.mask(&sys.grid);
@@ -693,9 +779,12 @@ mod tests {
         let serial = fock.apply_diag(&nat_r, &e.values, &phi_r);
         let ng = sys.grid.len();
 
-        for strategy in
-            [ExchangeStrategy::Bcast, ExchangeStrategy::Ring, ExchangeStrategy::AsyncRing]
-        {
+        for strategy in [
+            ExchangeStrategy::Bcast,
+            ExchangeStrategy::Ring,
+            ExchangeStrategy::AsyncRing,
+            ExchangeStrategy::RingOverlap,
+        ] {
             let out = Cluster::ideal(2).run(|c| {
                 let dist = BandDistribution::new(4, c.size());
                 let my = dist.range(c.rank());
@@ -734,9 +823,12 @@ mod tests {
         let serial = fock.apply_pure(&nat_r, &e.values);
         let ng = sys.grid.len();
 
-        for strategy in
-            [ExchangeStrategy::Bcast, ExchangeStrategy::Ring, ExchangeStrategy::AsyncRing]
-        {
+        for strategy in [
+            ExchangeStrategy::Bcast,
+            ExchangeStrategy::Ring,
+            ExchangeStrategy::AsyncRing,
+            ExchangeStrategy::RingOverlap,
+        ] {
             for p in [1, 2, 3] {
                 let out = Cluster::ideal(p).run(|c| {
                     let dist = BandDistribution::new(4, c.size());
@@ -783,7 +875,11 @@ mod tests {
         let rho_serial =
             eng.eval(&serial_next.phi, &serial_next.sigma, serial_next.time).rho;
 
-        for (p, strategy) in [(2, ExchangeStrategy::Ring), (4, ExchangeStrategy::AsyncRing)] {
+        for (p, strategy) in [
+            (2, ExchangeStrategy::Ring),
+            (4, ExchangeStrategy::AsyncRing),
+            (3, ExchangeStrategy::RingOverlap),
+        ] {
             let rho_ref = rho_serial.clone();
             let st2 = st.clone();
             let sys_ref = &sys;
@@ -792,7 +888,7 @@ mod tests {
             let out = Cluster::new(p, 2, NetworkModel::ideal()).run(move |c| {
                 let dist = BandDistribution::new(4, c.size());
                 let local = scatter_state(c, &st2, &dist);
-                let cfg = DistConfig { strategy, use_shm: true, hybrid: hyb };
+                let cfg = DistConfig { strategy, use_shm: true, hybrid: hyb, ..Default::default() };
                 let (next, stats) =
                     dist_ptim_step(c, sys_ref, laser_ref, &cfg, &dist, &local, 0.3, 25, 1e-9);
                 let full = gather_state(c, &next, &dist);
@@ -877,7 +973,7 @@ mod tests {
                 let dist = BandDistribution::new(4, c.size());
                 let local = scatter_state(c, &st2, &dist);
                 let cfg =
-                    DistConfig { strategy: ExchangeStrategy::Ring, use_shm, hybrid: hyb };
+                    DistConfig { strategy: ExchangeStrategy::Ring, use_shm, hybrid: hyb, ..Default::default() };
                 let _ = dist_ptim_step(c, sys_ref, laser_ref, &cfg, &dist, &local, 0.2, 4, 1e-7);
                 (
                     c.stats.shm_bytes,

@@ -14,8 +14,14 @@
 //! * [`laser`] — the 380 nm pulse and the length-gauge sawtooth operator.
 //! * [`observables`] — dipole/energy/σ trajectory recording (Figs. 7, 8).
 //! * [`distributed`] — band-parallel PT-IM over [`mpisim`] with the
-//!   paper's three wavefunction-exchange strategies (Bcast, ring,
-//!   asynchronous ring) and SHM-backed σ/overlap matrices.
+//!   paper's wavefunction-exchange strategies (Bcast, ring, asynchronous
+//!   ring, and the ring-pipelined overlapped exchange) and SHM-backed
+//!   σ/overlap matrices.
+//! * [`grid2d`] — the hierarchical 2-D parallelization subsystem: the
+//!   band×grid [`grid2d::ProcessGrid`], slab ownership
+//!   ([`grid2d::GridDistribution`] + `pwfft::dist`), and the
+//!   ring-pipelined communication-overlapped Fock exchange behind
+//!   [`distributed::ExchangeStrategy::RingOverlap`].
 //!
 //! Everything is exercised against invariants (trace/Hermiticity of σ,
 //! orthonormality, energy conservation, gauge invariance) and against the
@@ -23,6 +29,7 @@
 
 pub mod distributed;
 pub mod engine;
+pub mod grid2d;
 pub mod laser;
 pub mod observables;
 pub mod propagate;

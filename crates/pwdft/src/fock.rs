@@ -272,6 +272,20 @@ impl<'g> FockOperator<'g> {
         &self.opts
     }
 
+    /// The screened kernel table `K(G)` per grid point — the full-grid
+    /// array a grid-decomposed (slab) Poisson solve slices its owned
+    /// planes out of.
+    #[inline]
+    pub fn kernel_table(&self) -> &[f64] {
+        &self.kernel.kg
+    }
+
+    /// Grid dimensions `(n0, n1, n2)` of the operator's FFT mesh.
+    #[inline]
+    pub fn grid_dims(&self) -> (usize, usize, usize) {
+        self.fft.dims()
+    }
+
     /// Solves the screened Poisson problem for a *batch* of pair
     /// densities in place: `W(r) = Σ_G K(G) f_G e^{iGr}` per grid
     /// (batched forward FFT → fused kernel multiply → batched inverse,

@@ -1,0 +1,315 @@
+//! Slab-decomposed distributed 3-D FFT over an [`mpisim`] rank group —
+//! the grid dimension of the hierarchical band×grid parallelization.
+//!
+//! Layout: a group of `members` ranks (one band group's *grid
+//! communicator*, in slab order) jointly owns an `n0 × n1 × n2` grid.
+//! Rank `i` of the group holds the contiguous axis-0 plane slab
+//! [`DistFft3::slab0`], stored row-major as `(i0_local, i1, i2)`. A full
+//! 3-D transform runs the axis-2 (contiguous rows) and axis-1 (strided
+//! lines within each local plane) passes locally, transposes to an
+//! axis-1 slab layout with a group-scoped `alltoallv`, runs the axis-0
+//! lines locally, and transposes back — the SPARC-style slab pipeline
+//! (PAPERS.md, arXiv:2501.16572), with the Z-pass's data movement as the
+//! only communication.
+//!
+//! Every 1-D line transform calls the *same* [`Plan`] entry points on
+//! the same line data as the serial [`Fft3`](crate::Fft3) per-line path,
+//! and the transposes only move data — so distributed results are
+//! **bitwise identical** to the serial transform on matching grids (the
+//! property the distributed Fock exchange's correctness tests pin down).
+
+use crate::plan::Plan;
+use mpisim::Comm;
+use pwnum::complex::Complex64;
+use pwnum::parallel::block_range;
+use std::cell::{Cell, RefCell};
+
+/// Plans plus group layout for one distributed grid.
+#[derive(Clone, Debug)]
+pub struct DistFft3 {
+    n0: usize,
+    n1: usize,
+    n2: usize,
+    plan0: Plan,
+    plan1: Plan,
+    plan2: Plan,
+    members: Vec<usize>,
+    /// 1-D transforms applied across all [`Self::forward`]/[`Self::inverse`]
+    /// calls (per 3-D transform: one per line of each axis) — the
+    /// FFT-volume counter the overlap tests assert against.
+    transforms: Cell<u64>,
+    /// Reused line/plan scratch: the exchange drives one transform per
+    /// pair solve, so per-call allocation would churn on the hot path.
+    scratch: RefCell<Vec<Complex64>>,
+    /// Reused Z-pass assembly buffer (axis-1 slab layout).
+    zbuf: RefCell<Vec<Complex64>>,
+}
+
+impl DistFft3 {
+    /// Creates plans for an `n0 × n1 × n2` grid owned by the rank group
+    /// `members` (world ranks in slab order; identical on every member).
+    pub fn new(n0: usize, n1: usize, n2: usize, members: Vec<usize>) -> Self {
+        assert!(n0 > 0 && n1 > 0 && n2 > 0, "grid dimensions must be positive");
+        assert!(!members.is_empty(), "distributed FFT needs at least one rank");
+        DistFft3 {
+            n0,
+            n1,
+            n2,
+            plan0: Plan::new(n0),
+            plan1: Plan::new(n1),
+            plan2: Plan::new(n2),
+            members,
+            transforms: Cell::new(0),
+            scratch: RefCell::new(Vec::new()),
+            zbuf: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Grid dimensions `(n0, n1, n2)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.n0, self.n1, self.n2)
+    }
+
+    /// Total number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n0 * self.n1 * self.n2
+    }
+
+    /// True for the degenerate 1-point grid.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// The group's world ranks in slab order.
+    #[inline]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Position of a world rank inside the group.
+    pub fn group_index(&self, rank: usize) -> usize {
+        self.members
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank is not a member of this distributed FFT group")
+    }
+
+    /// Axis-0 plane range owned by group position `idx` (the resting
+    /// slab layout).
+    #[inline]
+    pub fn slab0(&self, idx: usize) -> std::ops::Range<usize> {
+        block_range(self.n0, self.members.len(), idx)
+    }
+
+    /// Axis-1 row range owned by group position `idx` during the Z-pass.
+    #[inline]
+    pub fn slab1(&self, idx: usize) -> std::ops::Range<usize> {
+        block_range(self.n1, self.members.len(), idx)
+    }
+
+    /// Grid *points* owned by group position `idx` in the resting
+    /// layout: the contiguous run of its axis-0 planes.
+    pub fn slab0_points(&self, idx: usize) -> std::ops::Range<usize> {
+        let planes = self.slab0(idx);
+        let plane = self.n1 * self.n2;
+        planes.start * plane..planes.end * plane
+    }
+
+    /// Number of locally owned grid points at group position `idx`.
+    #[inline]
+    pub fn local_len(&self, idx: usize) -> usize {
+        self.slab0(idx).len() * self.n1 * self.n2
+    }
+
+    /// 1-D line transforms performed by this instance so far.
+    #[inline]
+    pub fn transform_count(&self) -> u64 {
+        self.transforms.get()
+    }
+
+    /// Forward 3-D transform, in place over this rank's slab
+    /// (unnormalized, matching [`crate::Fft3::forward`]).
+    pub fn forward(&self, comm: &mut Comm, data: &mut [Complex64]) {
+        self.transform(comm, data, false);
+    }
+
+    /// Inverse 3-D transform, in place over this rank's slab (normalized
+    /// by `1/len`, matching [`crate::Fft3::inverse`]).
+    pub fn inverse(&self, comm: &mut Comm, data: &mut [Complex64]) {
+        self.transform(comm, data, true);
+    }
+
+    fn line(&self, plan: &Plan, seg: &mut [Complex64], scratch: &mut [Complex64], inverse: bool) {
+        if inverse {
+            plan.inverse_with(seg, scratch);
+        } else {
+            plan.forward_with(seg, scratch);
+        }
+        self.transforms.set(self.transforms.get() + 1);
+    }
+
+    fn transform(&self, comm: &mut Comm, data: &mut [Complex64], inverse: bool) {
+        let me = self.group_index(comm.rank());
+        let my0 = self.slab0(me);
+        let (n0, n1, n2) = (self.n0, self.n1, self.n2);
+        assert_eq!(data.len(), my0.len() * n1 * n2, "slab buffer length mismatch");
+        let p = self.members.len();
+        let mut scratch = self.scratch.borrow_mut();
+        let need = 2 * n0.max(n1).max(n2);
+        if scratch.len() < need {
+            scratch.resize(need, Complex64::ZERO);
+        }
+        let (line, plan_scratch) = scratch.split_at_mut(n0.max(n1).max(n2));
+
+        // Axis 2: contiguous local rows.
+        for row in data.chunks_mut(n2) {
+            self.line(&self.plan2, row, plan_scratch, inverse);
+        }
+        // Axis 1: strided lines within each local i0-plane (identical
+        // gather/transform/scatter to the serial per-line path).
+        for plane in data.chunks_mut(n1 * n2) {
+            for i2 in 0..n2 {
+                for i1 in 0..n1 {
+                    line[i1] = plane[i1 * n2 + i2];
+                }
+                self.line(&self.plan1, &mut line[..n1], plan_scratch, inverse);
+                for i1 in 0..n1 {
+                    plane[i1 * n2 + i2] = line[i1];
+                }
+            }
+        }
+
+        if p == 1 {
+            // Whole grid local: the axis-0 pass needs no transpose.
+            let stride = n1 * n2;
+            for i12 in 0..stride {
+                for i0 in 0..n0 {
+                    line[i0] = data[i0 * stride + i12];
+                }
+                self.line(&self.plan0, &mut line[..n0], plan_scratch, inverse);
+                for i0 in 0..n0 {
+                    data[i0 * stride + i12] = line[i0];
+                }
+            }
+            return;
+        }
+
+        // Transpose to axis-1 slabs: member r receives, for each of its
+        // i1 rows, every rank's local i0-planes' n2-rows — the Z-pass
+        // `alltoallv` of the paper's grid decomposition.
+        let chunks: Vec<Vec<Complex64>> = (0..p)
+            .map(|r| {
+                let r1 = self.slab1(r);
+                let mut c = Vec::with_capacity(r1.len() * my0.len() * n2);
+                for i1 in r1 {
+                    for l0 in 0..my0.len() {
+                        let at = (l0 * n1 + i1) * n2;
+                        c.extend_from_slice(&data[at..at + n2]);
+                    }
+                }
+                c
+            })
+            .collect();
+        let parts = comm.alltoallv_group(&self.members, chunks);
+
+        // Assemble the (i1_local, i0, i2) buffer and run the axis-0 lines.
+        let my1 = self.slab1(me);
+        let mut zbuf = self.zbuf.borrow_mut();
+        let zneed = my1.len() * n0 * n2;
+        if zbuf.len() < zneed {
+            zbuf.resize(zneed, Complex64::ZERO);
+        }
+        // Every element of the used prefix is overwritten below (the
+        // received parts tile the (i1_local, i0) plane set exactly), so
+        // reuse across calls is safe.
+        let zbuf = &mut zbuf[..zneed];
+        for (src, part) in parts.iter().enumerate() {
+            let s0 = self.slab0(src);
+            assert_eq!(part.len(), my1.len() * s0.len() * n2, "transpose chunk mismatch");
+            let mut at = 0;
+            for l1 in 0..my1.len() {
+                for i0 in s0.clone() {
+                    let dst = (l1 * n0 + i0) * n2;
+                    zbuf[dst..dst + n2].copy_from_slice(&part[at..at + n2]);
+                    at += n2;
+                }
+            }
+        }
+        for plane in zbuf.chunks_mut(n0 * n2) {
+            for i2 in 0..n2 {
+                for i0 in 0..n0 {
+                    line[i0] = plane[i0 * n2 + i2];
+                }
+                self.line(&self.plan0, &mut line[..n0], plan_scratch, inverse);
+                for i0 in 0..n0 {
+                    plane[i0 * n2 + i2] = line[i0];
+                }
+            }
+        }
+
+        // Transpose back to the resting axis-0 slab layout.
+        let back: Vec<Vec<Complex64>> = (0..p)
+            .map(|r| {
+                let r0 = self.slab0(r);
+                let mut c = Vec::with_capacity(my1.len() * r0.len() * n2);
+                for l1 in 0..my1.len() {
+                    for i0 in r0.clone() {
+                        let at = (l1 * n0 + i0) * n2;
+                        c.extend_from_slice(&zbuf[at..at + n2]);
+                    }
+                }
+                c
+            })
+            .collect();
+        let parts = comm.alltoallv_group(&self.members, back);
+        for (src, part) in parts.iter().enumerate() {
+            let s1 = self.slab1(src);
+            assert_eq!(part.len(), s1.len() * my0.len() * n2, "transpose-back chunk mismatch");
+            let mut at = 0;
+            for i1 in s1 {
+                for l0 in 0..my0.len() {
+                    let dst = (l0 * n1 + i1) * n2;
+                    data[dst..dst + n2].copy_from_slice(&part[at..at + n2]);
+                    at += n2;
+                }
+            }
+        }
+    }
+
+    /// Distributed filtered round trip (the slab twin of
+    /// [`crate::Fft3::convolve_many_with`] at batch 1): forward
+    /// transform, elementwise multiply by this rank's slab of the real
+    /// `kernel` (full-grid table, indexed by [`Self::slab0_points`]),
+    /// inverse transform — the screened-Poisson solve of the 2-D
+    /// distributed Fock exchange.
+    pub fn convolve_slab(&self, comm: &mut Comm, data: &mut [Complex64], kernel: &[f64]) {
+        assert_eq!(kernel.len(), self.len(), "convolve kernel/grid length mismatch");
+        let me = self.group_index(comm.rank());
+        self.forward(comm, data);
+        let pts = self.slab0_points(me);
+        for (z, &k) in data.iter_mut().zip(&kernel[pts]) {
+            *z = z.scale(k);
+        }
+        self.inverse(comm, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_tile_the_grid() {
+        let d = DistFft3::new(7, 6, 5, vec![0, 1, 2]);
+        let total: usize = (0..3).map(|i| d.local_len(i)).sum();
+        assert_eq!(total, d.len());
+        assert_eq!(d.slab0(0), 0..3);
+        assert_eq!(d.slab0(1), 3..5);
+        assert_eq!(d.slab0(2), 5..7);
+        assert_eq!(d.slab0_points(1), 3 * 30..5 * 30);
+        assert_eq!(d.group_index(2), 2);
+    }
+}

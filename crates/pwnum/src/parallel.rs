@@ -30,6 +30,25 @@ pub fn num_threads(max: usize) -> usize {
     n.min(max).max(1)
 }
 
+/// Balanced contiguous block partition: the sub-range of `0..n_items`
+/// owned by `part` of `n_parts`. The first `n_items % n_parts` parts get
+/// one extra item, so sizes differ by at most one and the ranges tile
+/// `0..n_items` exactly.
+///
+/// This is the single source of truth for every 1-D ownership map in the
+/// workspace — band ranges over ranks, grid-point ranges for the
+/// band↔grid transpose, and FFT slab planes in `pwfft`'s distributed
+/// transform — so the layers can never disagree about who owns what.
+pub fn block_range(n_items: usize, n_parts: usize, part: usize) -> std::ops::Range<usize> {
+    assert!(n_parts > 0, "block_range needs at least one part");
+    assert!(part < n_parts, "part {part} out of {n_parts}");
+    let base = n_items / n_parts;
+    let extra = n_items % n_parts;
+    let start = part * base + part.min(extra);
+    let len = base + usize::from(part < extra);
+    start..start + len
+}
+
 /// Runs `body(start, end)` over disjoint index ranges covering `0..len`,
 /// in parallel across up to `num_threads` workers.
 ///
@@ -186,5 +205,33 @@ mod tests {
     fn num_threads_at_least_one() {
         assert!(num_threads(usize::MAX) >= 1);
         assert_eq!(num_threads(1), 1);
+    }
+
+    #[test]
+    fn block_range_tiles_exactly() {
+        for (n, p) in [(10, 3), (4, 4), (0, 2), (7, 1), (3, 5), (1728, 16)] {
+            let mut next = 0;
+            for r in 0..p {
+                let range = block_range(n, p, r);
+                assert_eq!(range.start, next, "n={n} p={p} r={r}");
+                next = range.end;
+                // Balanced: sizes differ by at most one.
+                assert!(range.len() == n / p || range.len() == n / p + 1);
+            }
+            assert_eq!(next, n, "n={n} p={p} must be fully covered");
+        }
+    }
+
+    #[test]
+    fn block_range_matches_loop_of_counts() {
+        // The incremental definition (start = sum of earlier counts) and
+        // the closed form must agree.
+        let (n, p) = (23, 6);
+        let mut start = 0;
+        for r in 0..p {
+            let range = block_range(n, p, r);
+            assert_eq!(range.start, start);
+            start += range.len();
+        }
     }
 }

@@ -44,7 +44,7 @@ fn run_distributed(
     let out = Cluster::new(p, rpn, NetworkModel::ideal()).run(move |c| {
         let dist = BandDistribution::new(6, c.size());
         let local = scatter_state(c, st, &dist);
-        let cfg = DistConfig { strategy, use_shm, hybrid: hyb };
+        let cfg = DistConfig { strategy, use_shm, hybrid: hyb, ..Default::default() };
         let (next, stats) = dist_ptim_step(c, sys, &laser, &cfg, &dist, &local, dt, 30, 1e-10);
         let full = gather_state(c, &next, &dist);
         let eng = TdEngine::new(sys, LaserPulse::off(), hyb);
@@ -65,9 +65,12 @@ fn every_strategy_matches_serial_semilocal() {
     let hyb = HybridParams { alpha: 0.0, omega: 0.2, ..Default::default() };
     let dt = 0.4;
     let (rho_ref, sigma_ref) = serial_reference(&sys, &st, hyb, dt);
-    for strategy in
-        [ExchangeStrategy::Bcast, ExchangeStrategy::Ring, ExchangeStrategy::AsyncRing]
-    {
+    for strategy in [
+        ExchangeStrategy::Bcast,
+        ExchangeStrategy::Ring,
+        ExchangeStrategy::AsyncRing,
+        ExchangeStrategy::RingOverlap,
+    ] {
         let (rho, sigma, conv) =
             run_distributed(&sys, &st, hyb, dt, 3, 2, strategy, false);
         assert!(conv, "{strategy:?} did not converge");
@@ -120,6 +123,22 @@ fn rank_count_does_not_change_physics() {
         assert!(rho_diff(rho, &results[0].0, sys.grid.dv()) < 1e-8);
         assert!(sigma.max_abs_diff(&results[0].1) < 1e-8);
     }
+}
+
+#[test]
+fn hybrid_ring_overlap_matches_serial() {
+    // The overlapped exchange through the full hybrid time step, at a
+    // non-power-of-two rank count.
+    let (sys, st) = fixture();
+    let hyb = HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() };
+    let dt = 0.3;
+    let (rho_ref, sigma_ref) = serial_reference(&sys, &st, hyb, dt);
+    let (rho, sigma, conv) =
+        run_distributed(&sys, &st, hyb, dt, 3, 2, ExchangeStrategy::RingOverlap, true);
+    assert!(conv);
+    let d = rho_diff(&rho, &rho_ref, sys.grid.dv());
+    assert!(d < 1e-7, "hybrid RingOverlap density diff {d}");
+    assert!(sigma.max_abs_diff(&sigma_ref) < 1e-7);
 }
 
 #[test]

@@ -162,6 +162,59 @@ fn async_ring_overlap_reduces_visible_time() {
 }
 
 #[test]
+fn overlap_schedule_prediction_tracks_measured_ring_overlap_step() {
+    // Calibration gate for the hierarchical subsystem: the overlap-aware
+    // closed form (`perfmodel::comm::ring_overlap_time`) must predict the
+    // mpisim-measured RingOverlap exchange time on the bench topology
+    // (the `dist_overlap` bench network) within 20%, at every bench rank
+    // count.
+    use pwdft_repro::ptim::distributed::{
+        dist_fock_apply, BandDistribution, ExchangePlan, ExchangeStrategy,
+    };
+    use pwdft_repro::pwdft::{Cell, DftSystem, FockOperator, Wavefunction};
+
+    let net = test_net();
+    let pf = platform_like(&net);
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.0, [8, 8, 8]);
+    let ng = sys.grid.len();
+    let n_bands = 16;
+    let phi = Wavefunction::random(&sys.grid, n_bands, 3);
+    let nat_r = phi.to_real_all(&sys.fft);
+    let psi = Wavefunction::random(&sys.grid, n_bands, 4);
+    let psi_r = psi.to_real_all(&sys.fft);
+    let occ = vec![1.0f64; n_bands];
+    let solve_cost = 2e-5;
+
+    for p in [4usize, 8, 16] {
+        let nb = n_bands / p;
+        let out = Cluster::new(p, 1, net.clone()).run(|c| {
+            let dist = BandDistribution::new(n_bands, c.size());
+            let my = dist.range(c.rank());
+            let fock = FockOperator::new(&sys.grid, 0.2);
+            let nat_local = nat_r[my.start * ng..my.end * ng].to_vec();
+            let psi_local = psi_r[my.start * ng..my.end * ng].to_vec();
+            let plan = ExchangePlan {
+                strategy: ExchangeStrategy::RingOverlap,
+                solve_cost_s: solve_cost,
+            };
+            let _ = dist_fock_apply(c, &fock, &dist, &nat_local, &occ, &psi_local, plan);
+            c.now()
+        });
+        let measured = out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+        // One block: nb source bands × nb local targets solves; wire
+        // block: nb real-space bands.
+        let compute_per_block = (nb * nb) as f64 * solve_cost;
+        let block_bytes = (nb * ng * 16) as f64;
+        let predicted = comm::ring_overlap_time(&pf, p, block_bytes, compute_per_block);
+        let ratio = measured / predicted;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "p={p}: measured {measured:.6} vs predicted {predicted:.6} (ratio {ratio:.3})"
+        );
+    }
+}
+
+#[test]
 fn node_aware_allreduce_cheaper_on_simulator_too() {
     let mut net = test_net();
     net.shm_bandwidth = 1e11; // fast intra-node

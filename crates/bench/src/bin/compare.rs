@@ -18,6 +18,11 @@
 //!   must beat the blocking ring by ≥ 1.25× in simulated step time at
 //!   16 ranks, hiding ≥ 50% of the exchange wire time (these are
 //!   virtual-clock measurements, so the gate is deterministic).
+//! * `BENCH_dist_scale.json` — the two-level closed form must track the
+//!   real `dist_ptim_step` virtual-clock time within 25% at 128/256/512
+//!   ranks in both the strong (64 bands) and weak (ranks/8 bands)
+//!   series. Rows whose `source` is `model` (from `--model-only` runs)
+//!   are rejected: the gate demands simulator-measured rows.
 
 use std::process::ExitCode;
 
@@ -30,6 +35,10 @@ struct MetricGate {
     select_val: f64,
     /// Rows whose raw text contains this substring are skipped.
     exclude: Option<&'static str>,
+    /// When set, only rows whose raw text contains this substring match
+    /// (disambiguates rows that share the numeric selector, e.g. the
+    /// strong vs weak series of the dist-scale artifact).
+    require: Option<&'static str>,
     /// The metric field to check.
     metric: &'static str,
     /// Inclusive lower bound (speedup floors).
@@ -46,6 +55,7 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
             select_key: "bands",
             select_val: 128.0,
             exclude: Some("screened"),
+            require: None,
             metric: "speedup",
             min: Some(1.0),
             max: None,
@@ -56,6 +66,7 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 select_key: "bands",
                 select_val: 64.0,
                 exclude: None,
+                require: None,
                 metric: "speedup",
                 min: Some(1.4),
                 max: None,
@@ -65,6 +76,7 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 select_key: "bands",
                 select_val: 64.0,
                 exclude: None,
+                require: None,
                 metric: "apply_rel_err",
                 min: None,
                 max: Some(1e-5),
@@ -74,6 +86,7 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 select_key: "steps",
                 select_val: 20.0,
                 exclude: None,
+                require: None,
                 metric: "dipole_err",
                 min: None,
                 max: Some(1e-6),
@@ -85,6 +98,7 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 select_key: "ranks",
                 select_val: 16.0,
                 exclude: None,
+                require: None,
                 metric: "speedup",
                 min: Some(1.25),
                 max: None,
@@ -94,11 +108,64 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 select_key: "ranks",
                 select_val: 16.0,
                 exclude: None,
+                require: None,
                 metric: "overlap_efficiency",
                 min: Some(0.5),
                 max: None,
             },
         ]),
+        "BENCH_dist_scale.json" => {
+            // Model-vs-simulator agreement at paper scale: every row of
+            // both series must sit inside the 25% band, and `--model-only`
+            // rows (source == model, ratio identically 1) are rejected by
+            // the `require`/`exclude` pair — a model row never matches, so
+            // the gate fails with "no row found" instead of passing
+            // vacuously.
+            fn dist_scale_gate(what: &'static str, series: &'static str, ranks: f64) -> MetricGate {
+                MetricGate {
+                    what,
+                    select_key: "ranks",
+                    select_val: ranks,
+                    exclude: Some("\"source\": \"model\""),
+                    require: Some(series),
+                    metric: "ratio",
+                    min: Some(0.75),
+                    max: Some(1.33),
+                }
+            }
+            Some(vec![
+                dist_scale_gate(
+                    "strong-series step/model ratio at 128 ranks",
+                    "\"series\": \"strong\"",
+                    128.0,
+                ),
+                dist_scale_gate(
+                    "strong-series step/model ratio at 256 ranks",
+                    "\"series\": \"strong\"",
+                    256.0,
+                ),
+                dist_scale_gate(
+                    "strong-series step/model ratio at 512 ranks",
+                    "\"series\": \"strong\"",
+                    512.0,
+                ),
+                dist_scale_gate(
+                    "weak-series step/model ratio at 128 ranks",
+                    "\"series\": \"weak\"",
+                    128.0,
+                ),
+                dist_scale_gate(
+                    "weak-series step/model ratio at 256 ranks",
+                    "\"series\": \"weak\"",
+                    256.0,
+                ),
+                dist_scale_gate(
+                    "weak-series step/model ratio at 512 ranks",
+                    "\"series\": \"weak\"",
+                    512.0,
+                ),
+            ])
+        }
         _ => None,
     }
 }
@@ -122,6 +189,11 @@ fn apply_gate(text: &str, gate: &MetricGate) -> Result<(), String> {
         }
         if let Some(ex) = gate.exclude {
             if obj.contains(ex) {
+                continue;
+            }
+        }
+        if let Some(req) = gate.require {
+            if !obj.contains(req) {
                 continue;
             }
         }
@@ -168,6 +240,7 @@ fn main() -> ExitCode {
             format!("{dir}/BENCH_fock_pairsym.json"),
             format!("{dir}/BENCH_mixed_precision.json"),
             format!("{dir}/BENCH_dist_overlap.json"),
+            format!("{dir}/BENCH_dist_scale.json"),
         ]
     } else {
         args

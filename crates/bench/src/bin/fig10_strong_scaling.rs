@@ -1,12 +1,20 @@
 //! Fig. 10 — strong scaling of the optimized PT-IM code:
 //! (a) 768-atom silicon on the ARM platform (15 → 480 nodes),
-//! (b) 1536-atom silicon on the GPU platform (12 → 192 nodes).
+//! (b) 1536-atom silicon on the GPU platform (12 → 192 nodes),
+//! (c) the *real* `dist_ptim_step` executed on the mpisim virtual clock
+//!     at 128/256/512 simulated ranks (RingOverlap exchange, SHM σ,
+//!     hierarchical collectives), next to the two-level closed-form
+//!     prediction. Section (c) writes the `strong` series of
+//!     `BENCH_dist_scale.json` (gated by `bin/compare.rs`).
 //!
 //! The "ideal" column scales as `1/nodes` from the first point, matching
-//! the paper's ideal-scaling line.
+//! the paper's ideal-scaling line. Pass `--model-only` to skip the
+//! simulator and emit closed-form rows instead (their `source` column
+//! says `model`, which the CI gate rejects — the flag exists for quick
+//! local iteration, not for CI).
 
 use perfmodel::{parallel_efficiency, strong_scaling, Platform};
-use pwdft_bench::{fmt_s, print_table};
+use pwdft_bench::{dist_scale_point, fmt_s, print_table, write_dist_scale_json};
 
 fn run(pf: &Platform, atoms: usize, nodes: &[usize], paper_eff: f64, paper_factor: f64) {
     let series = strong_scaling(pf, atoms, nodes);
@@ -44,6 +52,7 @@ fn run(pf: &Platform, atoms: usize, nodes: &[usize], paper_eff: f64, paper_facto
 }
 
 fn main() {
+    let model_only = std::env::args().any(|a| a == "--model-only");
     println!("# Fig. 10 reproduction — strong scaling (model-driven)");
     run(
         &Platform::fugaku_arm(),
@@ -53,4 +62,32 @@ fn main() {
         11.79,
     );
     run(&Platform::gpu_a100(), 1536, &[12, 24, 48, 96, 192], 0.229, 3.67);
+
+    // (c) Paper-scale rank counts through the real distributed step.
+    let n_bands = 64;
+    let points: Vec<_> =
+        [128usize, 256, 512].iter().map(|&p| dist_scale_point(p, n_bands, model_only)).collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.ranks.to_string(),
+                pt.n_bands.to_string(),
+                format!("{:.6}", pt.step_s),
+                format!("{:.6}", pt.model_s),
+                format!("{:.3}", pt.ratio()),
+                pt.source.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig. 10(c) — real dist_ptim_step on the virtual clock, {} bands (strong)",
+            n_bands
+        ),
+        &["ranks", "bands", "step (s)", "model (s)", "ratio", "source"],
+        &rows,
+    );
+    let path = write_dist_scale_json("strong", &points);
+    println!("wrote strong series to {path}");
 }

@@ -6,10 +6,16 @@
 //! when nodes track orbitals and total work grows as N³). The memory
 //! model reports the capacity limits the paper hits (8 GB/CMG on Fugaku,
 //! 40 GB/GPU).
+//!
+//! The final section drives the *real* `dist_ptim_step` on the mpisim
+//! virtual clock with bands ∝ ranks (128/256/512 ranks at p/8 bands) and
+//! merges the `weak` series into `BENCH_dist_scale.json` next to fig10's
+//! `strong` rows. Pass `--model-only` to emit closed-form rows instead
+//! (rejected by the CI gate; local iteration only).
 
 use perfmodel::memory::{max_atoms, per_rank_memory};
 use perfmodel::{weak_scaling, Platform, Workload};
-use pwdft_bench::{fmt_s, print_table};
+use pwdft_bench::{dist_scale_point, fmt_s, print_table, write_dist_scale_json};
 
 fn run(pf: &Platform, atoms: &[usize], nodes_for: impl Fn(usize) -> usize, anchor: &str) {
     let series = weak_scaling(pf, atoms, &nodes_for);
@@ -79,4 +85,31 @@ fn main() {
         "         => 1 fs of simulation at 3072 atoms: model {:.1} h (paper ~2.5 h)",
         t3072 * 20.0 / 3600.0
     );
+
+    // Weak scaling through the real distributed step: bands ∝ ranks.
+    let model_only = std::env::args().any(|a| a == "--model-only");
+    let points: Vec<_> = [128usize, 256, 512]
+        .iter()
+        .map(|&p| dist_scale_point(p, p / 8, model_only))
+        .collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.ranks.to_string(),
+                pt.n_bands.to_string(),
+                format!("{:.6}", pt.step_s),
+                format!("{:.6}", pt.model_s),
+                format!("{:.3}", pt.ratio()),
+                pt.source.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 11(c) — real dist_ptim_step on the virtual clock, bands = ranks/8 (weak)",
+        &["ranks", "bands", "step (s)", "model (s)", "ratio", "source"],
+        &rows,
+    );
+    let path = write_dist_scale_json("weak", &points);
+    println!("wrote weak series to {path}");
 }

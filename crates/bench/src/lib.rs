@@ -4,6 +4,7 @@
 //! is a CI-scale configuration that exercises the identical code paths in
 //! seconds. `EXPERIMENTS.md` records both.
 
+use mpisim::Cluster;
 use perfmodel::platform::Platform;
 use pwdft::{scf_hybrid, scf_lda, Cell, DftSystem, GroundState, HybridConfig, ScfConfig};
 use pwnum::backend::{by_name, BackendHandle};
@@ -84,6 +85,175 @@ pub fn precision_for_platform(platform: &Platform) -> PrecisionPolicy {
     } else {
         PrecisionPolicy::fp64()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Paper-scale distributed runs (Fig. 10/11 at 128–512 simulated ranks).
+//
+// One canonical configuration shared by the fig10/fig11 binaries and the
+// root integration tests: the *real* `dist_ptim_step` (RingOverlap
+// exchange, SHM-backed σ, hierarchical collectives) on a Fugaku-like
+// network, timed on the mpisim virtual clock, next to the two-level
+// closed-form prediction (`perfmodel::dist_step_sim_time`).
+// ---------------------------------------------------------------------------
+
+/// Ranks per node in the scaling runs (one rank per A64FX CMG).
+pub const DIST_SCALE_RPN: usize = 4;
+/// Modeled compute seconds charged per exchange pair solve.
+pub const DIST_SCALE_SOLVE_COST_S: f64 = 2e-5;
+/// SCF corrector iterations (the predictor adds one more evaluation).
+pub const DIST_SCALE_MAX_SCF: usize = 1;
+/// FFT grid of the scaling system (ng = 512).
+pub const DIST_SCALE_DIMS: [usize; 3] = [8, 8, 8];
+
+/// One measured (or modeled) scaling point for `BENCH_dist_scale.json`.
+#[derive(Clone, Debug)]
+pub struct DistScalePoint {
+    /// Simulated MPI ranks.
+    pub ranks: usize,
+    /// Total bands N.
+    pub n_bands: usize,
+    /// Step time (s): virtual-clock max over ranks, or the model value
+    /// when `source == "model"`.
+    pub step_s: f64,
+    /// Closed-form prediction (s).
+    pub model_s: f64,
+    /// Where `step_s` came from: `"simulator"` or `"model"`.
+    pub source: &'static str,
+}
+
+impl DistScalePoint {
+    /// Measured-over-model agreement ratio.
+    pub fn ratio(&self) -> f64 {
+        self.step_s / self.model_s
+    }
+}
+
+/// The Fugaku-like network the scaling runs simulate.
+pub fn dist_scale_net(p: usize) -> mpisim::NetworkModel {
+    mpisim::NetworkModel::fugaku(p.div_ceil(DIST_SCALE_RPN))
+}
+
+/// Platform whose parameters mirror [`dist_scale_net`] so the closed
+/// forms and the simulator price every message identically: per-link
+/// bandwidth (not the per-rank share), single-hop torus latency.
+pub fn dist_scale_platform() -> Platform {
+    let net = dist_scale_net(DIST_SCALE_RPN);
+    let mut pf = Platform::fugaku_arm();
+    pf.net_bw = net.bandwidth;
+    pf.net_latency = net.sw_overhead + net.hop_latency;
+    pf.shm_bw = net.shm_bandwidth;
+    pf.shm_latency = net.shm_latency;
+    pf.ranks_per_node = DIST_SCALE_RPN;
+    pf
+}
+
+/// Closed-form prediction for one scaling point.
+pub fn dist_scale_model_s(p: usize, n_bands: usize) -> f64 {
+    let ng = DIST_SCALE_DIMS.iter().product();
+    let shape = perfmodel::DistStepShape {
+        p,
+        n_bands,
+        ng,
+        solve_cost_s: DIST_SCALE_SOLVE_COST_S,
+        max_scf: DIST_SCALE_MAX_SCF,
+    };
+    perfmodel::dist_step_sim_time(&dist_scale_platform(), &shape)
+}
+
+/// Runs one real `dist_ptim_step` at `p` simulated ranks and returns the
+/// virtual-clock step time (max over ranks).
+pub fn measure_dist_step(p: usize, n_bands: usize) -> f64 {
+    use ptim::distributed::{
+        dist_ptim_step, scatter_state, BandDistribution, DistConfig, ExchangeStrategy,
+    };
+    use ptim::engine::HybridParams;
+    use ptim::laser::LaserPulse;
+    use ptim::state::TdState;
+    use pwnum::cmat::CMat;
+
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.0, DIST_SCALE_DIMS);
+    let mut phi = pwdft::Wavefunction::random(&sys.grid, n_bands, 7);
+    phi.orthonormalize_lowdin();
+    // Finite-temperature-style occupations, all above the Fock cutoff.
+    let occ: Vec<f64> = (0..n_bands).map(|i| 1.0 / (1.0 + 0.2 * i as f64)).collect();
+    let st = TdState { phi, sigma: CMat::from_real_diag(&occ), time: 0.0 };
+    let laser = LaserPulse::off();
+    let hybrid = HybridParams { alpha: 0.25, omega: 0.2, ..Default::default() };
+
+    let sys_ref = &sys;
+    let laser_ref = &laser;
+    let st_ref = &st;
+    let out = Cluster::new(p, DIST_SCALE_RPN, dist_scale_net(p)).run(move |c| {
+        let dist = BandDistribution::new(n_bands, c.size());
+        let local = scatter_state(c, st_ref, &dist);
+        let cfg = DistConfig {
+            strategy: ExchangeStrategy::RingOverlap,
+            use_shm: true,
+            hybrid,
+            solve_cost_s: DIST_SCALE_SOLVE_COST_S,
+        };
+        let _ = dist_ptim_step(
+            c,
+            sys_ref,
+            laser_ref,
+            &cfg,
+            &dist,
+            &local,
+            0.1,
+            DIST_SCALE_MAX_SCF,
+            0.0,
+        );
+        c.now()
+    });
+    out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max)
+}
+
+/// Produces one scaling point: simulator-measured unless `model_only`.
+pub fn dist_scale_point(p: usize, n_bands: usize, model_only: bool) -> DistScalePoint {
+    let model_s = dist_scale_model_s(p, n_bands);
+    let (step_s, source) = if model_only {
+        (model_s, "model")
+    } else {
+        (measure_dist_step(p, n_bands), "simulator")
+    };
+    DistScalePoint { ranks: p, n_bands, step_s, model_s, source }
+}
+
+/// Merge-writes one series of `BENCH_dist_scale.json` next to this
+/// crate's manifest (where `bin/compare.rs` looks): rows of other series
+/// already in the file are kept, rows of `series` are replaced — so
+/// fig10 (strong) and fig11 (weak) can each refresh their own rows in
+/// either order.
+pub fn write_dist_scale_json(series: &str, points: &[DistScalePoint]) -> String {
+    let path = format!("{}/BENCH_dist_scale.json", env!("CARGO_MANIFEST_DIR"));
+    let mut rows: Vec<String> = match std::fs::read_to_string(&path) {
+        Ok(old) => old
+            .lines()
+            .filter(|l| {
+                l.trim_start().starts_with("{\"name\"")
+                    && !l.contains(&format!("\"series\": \"{series}\""))
+            })
+            .map(|l| l.trim_end_matches(',').to_string())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    for pt in points {
+        rows.push(format!(
+            "{{\"name\": \"dist_scale_{series}_p{}\", \"series\": \"{series}\", \
+             \"source\": \"{}\", \"ranks\": {}, \"bands\": {}, \"step_s\": {:.6e}, \
+             \"model_s\": {:.6e}, \"ratio\": {:.4}}}",
+            pt.ranks, pt.source, pt.ranks, pt.n_bands, pt.step_s, pt.model_s, pt.ratio()
+        ));
+    }
+    let mut json = String::from("{\n\"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(r);
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("],\n\"config\": \"si8 8x8x8, rpn=4, fugaku net, RingOverlap, max_scf=1\"\n}\n");
+    std::fs::write(&path, &json).expect("write BENCH_dist_scale.json");
+    path
 }
 
 /// Median wall time per call of `f` over `iters` samples (one warm-up) —

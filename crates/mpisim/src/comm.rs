@@ -1,6 +1,6 @@
 //! Cluster construction, rank communicators, and point-to-point messaging.
 //!
-//! Ranks run as OS threads connected by unbounded channels, so every
+//! Ranks run as OS threads connected by per-rank **inboxes**, so every
 //! communication pattern of the paper (Bcast / ring Sendrecv / async
 //! Isend+Irecv+Wait / collectives) executes *with real data movement* —
 //! correctness of the distributed algorithms is testable against serial
@@ -10,14 +10,26 @@
 //! clock to `max(own clock, arrival)` (Lamport-style). This yields
 //! deterministic, scheduling-independent timing that reproduces the
 //! *shape* of the paper's communication results.
+//!
+//! ## Scheduling: O(active ranks) event loop
+//!
+//! A rank blocked in `recv`/`wait`/`waitany` parks on its inbox's
+//! condition variable instead of polling. A sender's `Comm::post`
+//! delivers the envelope under the inbox lock, bumps the doorbell
+//! sequence number, and notifies — so each delivery wakes only the one
+//! rank that may now make progress. Host CPU cost therefore scales with
+//! the number of ranks actively exchanging messages, not with the total
+//! rank count; this is what keeps 512-rank simulations inside a CI
+//! budget on a small host. Rank termination (normal return or panic)
+//! flips the rank's `alive` flag and rings every doorbell, so peers
+//! blocked on a dead rank fail loudly instead of hanging.
 
 use crate::stats::{Category, RankReport, Stats};
 use crate::topology::NetworkModel;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Message tags. Collectives use the high bit space; user tags should be
 /// below `1 << 48`.
@@ -69,55 +81,49 @@ pub(crate) struct Envelope {
     pub payload: Box<dyn Any + Send>,
 }
 
-struct Mailbox {
-    rx: Receiver<Envelope>,
-    pending: VecDeque<Envelope>,
-    /// The sender side hung up (its rank returned): no further envelopes
-    /// can ever arrive beyond what `pending` already holds.
-    disconnected: bool,
+/// Delivered-but-unclaimed envelopes of one rank, guarded by the inbox
+/// mutex. `seq` is the doorbell: it advances on every delivery and on
+/// every rank termination, so a parked waiter can tell "something
+/// changed since I last looked" without re-scanning speculatively.
+struct InboxState {
+    arrived: VecDeque<Envelope>,
+    seq: u64,
 }
 
-impl Mailbox {
-    fn take(&mut self, tag: Tag) -> Envelope {
-        if let Some(pos) = self.pending.iter().position(|e| e.tag == tag) {
-            return self.pending.remove(pos).unwrap();
-        }
-        loop {
-            let env = self.rx.recv().expect("peer rank terminated while messages were expected");
-            if env.tag == tag {
-                return env;
-            }
-            self.pending.push_back(env);
-        }
-    }
+struct Inbox {
+    state: Mutex<InboxState>,
+    bell: Condvar,
+}
 
-    /// Moves every physically delivered envelope into the pending queue
-    /// without blocking; records sender hang-up.
-    fn drain(&mut self) {
-        loop {
-            match self.rx.try_recv() {
-                Ok(env) => self.pending.push_back(env),
-                Err(std::sync::mpsc::TryRecvError::Empty) => break,
-                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
-                    self.disconnected = true;
-                    break;
-                }
-            }
+/// The shared data plane: one inbox per rank plus the liveness table.
+struct Fabric {
+    inboxes: Vec<Inbox>,
+    alive: Vec<AtomicBool>,
+}
+
+/// Locks an inbox, tolerating poisoning: a rank that panicked while
+/// holding its own inbox lock must not prevent the termination
+/// broadcast (or its peers' loud failure) from running.
+fn lock_state(inbox: &Inbox) -> MutexGuard<'_, InboxState> {
+    inbox.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Marks the rank dead and rings every doorbell on drop — including
+/// drops during unwinding, so a panicking rank still releases its peers
+/// into their "peer rank terminated" failure paths.
+struct AliveGuard {
+    rank: usize,
+    fabric: Arc<Fabric>,
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.fabric.alive[self.rank].store(false, Ordering::SeqCst);
+        for inbox in &self.fabric.inboxes {
+            let mut st = lock_state(inbox);
+            st.seq += 1;
+            inbox.bell.notify_all();
         }
-    }
-
-    /// Non-consuming lookup of the first delivered envelope with `tag`.
-    fn peek(&mut self, tag: Tag) -> Option<&Envelope> {
-        self.drain();
-        self.pending.iter().find(|e| e.tag == tag)
-    }
-
-    /// True when no envelope with `tag` is pending and none can ever
-    /// arrive (sender hung up) — the waitany analog of `take`'s
-    /// terminated-peer panic condition.
-    fn hopeless(&mut self, tag: Tag) -> bool {
-        self.drain();
-        self.disconnected && !self.pending.iter().any(|e| e.tag == tag)
     }
 }
 
@@ -147,8 +153,10 @@ pub struct Comm {
     rank: usize,
     size: usize,
     ranks_per_node: usize,
-    senders: Vec<Sender<Envelope>>,
-    mailboxes: Vec<Mailbox>,
+    fabric: Arc<Fabric>,
+    /// Claimed-from-inbox envelopes not yet matched by a receive, one
+    /// FIFO queue per source rank (preserves per-source ordering).
+    pending: Vec<VecDeque<Envelope>>,
     pub(crate) net: Arc<NetworkModel>,
     pub(crate) shm: Arc<crate::shm::ShmRegistry>,
     clock: f64,
@@ -199,6 +207,15 @@ impl Comm {
         self.node() * self.ranks_per_node
     }
 
+    /// True when the run has both multiple ranks per node *and* multiple
+    /// nodes — the regime where the hierarchical (intra-node over shared
+    /// memory, inter-node over the interconnect) collectives differ from
+    /// the flat ones.
+    #[inline]
+    pub fn hierarchical(&self) -> bool {
+        self.ranks_per_node > 1 && self.size > self.ranks_per_node
+    }
+
     /// Current virtual time in seconds.
     #[inline]
     pub fn now(&self) -> f64 {
@@ -217,19 +234,90 @@ impl Comm {
         self.stats.private_bytes += bytes;
     }
 
+    /// Charges the virtual-clock cost of moving `bytes` through a
+    /// node-shared memory window (one latency plus the bandwidth term),
+    /// attributing the time to `cat` and the traffic to the intra-node
+    /// phase counters. This is how the hierarchical collectives price
+    /// their shm staging steps.
+    pub(crate) fn charge_shm(&mut self, cat: Category, bytes: usize) {
+        let dt = self.net.shm_latency + bytes as f64 / self.net.shm_bandwidth;
+        self.clock += dt;
+        self.stats.add_time(cat, dt);
+        self.stats.intra_wire_s += dt;
+        self.stats.shm_staged_bytes += bytes as u64;
+    }
+
     // ---- point-to-point -------------------------------------------------
 
     pub(crate) fn post(&mut self, dst: usize, tag: Tag, payload: Box<dyn Any + Send>, bytes: usize) {
-        let arrival =
-            self.clock + self.net.transfer_time(self.node(), self.node_of(dst), bytes);
+        let transfer = self.net.transfer_time(self.node(), self.node_of(dst), bytes);
+        let arrival = self.clock + transfer;
         self.stats.bytes_sent += bytes as u64;
-        self.senders[dst]
-            .send(Envelope { src: self.rank, tag, sent: self.clock, arrival, payload })
-            .expect("destination rank terminated");
+        if self.node() == self.node_of(dst) {
+            self.stats.intra_bytes += bytes as u64;
+            self.stats.intra_msgs += 1;
+            self.stats.intra_wire_s += transfer;
+        } else {
+            self.stats.inter_bytes += bytes as u64;
+            self.stats.inter_msgs += 1;
+            self.stats.inter_wire_s += transfer;
+        }
+        assert!(
+            self.fabric.alive[dst].load(Ordering::SeqCst),
+            "destination rank terminated"
+        );
+        let inbox = &self.fabric.inboxes[dst];
+        let mut st = lock_state(inbox);
+        st.arrived
+            .push_back(Envelope { src: self.rank, tag, sent: self.clock, arrival, payload });
+        st.seq += 1;
+        inbox.bell.notify_all();
+    }
+
+    /// Moves every delivered envelope from the shared inbox into the
+    /// per-source pending queues (preserving delivery order per source).
+    fn drain_arrived(st: &mut InboxState, pending: &mut [VecDeque<Envelope>]) {
+        while let Some(env) = st.arrived.pop_front() {
+            pending[env.src].push_back(env);
+        }
+    }
+
+    /// Blocking tag-matched claim of one envelope from `src`. Parks on
+    /// the inbox doorbell while nothing new can match; panics if `src`
+    /// terminated without the expected message ever arriving.
+    ///
+    /// Liveness/termination ordering: the `alive` flag is read *after*
+    /// taking the inbox lock and draining. A terminating rank stores
+    /// `alive = false` before ringing the doorbells, and all of its
+    /// posts happened before that store — so observing `false` here
+    /// guarantees every envelope it ever sent has already been drained,
+    /// making "not found + dead" a genuinely hopeless state.
+    fn take(&mut self, src: usize, tag: Tag) -> Envelope {
+        if let Some(pos) = self.pending[src].iter().position(|e| e.tag == tag) {
+            return self.pending[src].remove(pos).expect("position just found");
+        }
+        let inbox = &self.fabric.inboxes[self.rank];
+        let mut st = lock_state(inbox);
+        loop {
+            Self::drain_arrived(&mut st, &mut self.pending);
+            if let Some(pos) = self.pending[src].iter().position(|e| e.tag == tag) {
+                drop(st);
+                return self.pending[src].remove(pos).expect("position just found");
+            }
+            if !self.fabric.alive[src].load(Ordering::SeqCst) {
+                drop(st);
+                panic!("peer rank terminated while messages were expected");
+            }
+            let seq = st.seq;
+            while st.seq == seq {
+                st = inbox.bell.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            self.stats.sched_wakeups += 1;
+        }
     }
 
     pub(crate) fn take_env(&mut self, src: usize, tag: Tag, cat: Category) -> Envelope {
-        let env = self.mailboxes[src].take(tag);
+        let env = self.take(src, tag);
         let new_clock = self.clock.max(env.arrival);
         self.stats.add_time(cat, new_clock - self.clock);
         self.clock = new_clock;
@@ -312,9 +400,17 @@ impl Comm {
     pub fn test(&mut self, req: &Request) -> bool {
         match req {
             Request::Send => true,
-            Request::Recv { src, tag, .. } => self.mailboxes[*src]
-                .peek(*tag)
-                .is_some_and(|env| env.arrival <= self.clock),
+            Request::Recv { src, tag, .. } => {
+                {
+                    let inbox = &self.fabric.inboxes[self.rank];
+                    let mut st = lock_state(inbox);
+                    Self::drain_arrived(&mut st, &mut self.pending);
+                }
+                self.pending[*src]
+                    .iter()
+                    .find(|e| e.tag == *tag)
+                    .is_some_and(|env| env.arrival <= self.clock)
+            }
         }
     }
 
@@ -323,7 +419,9 @@ impl Comm {
     /// original index plus the payload (`None` for sends, which complete
     /// immediately). Among posted receives the earliest delivered virtual
     /// arrival wins; blocked time is charged to `Wait` and the overlap
-    /// metric is updated exactly as in [`Comm::wait`].
+    /// metric is updated exactly as in [`Comm::wait`]. Parks on the
+    /// inbox doorbell between deliveries — no polling — and fails loudly
+    /// once every awaited peer has terminated without delivering.
     ///
     /// Panics when `reqs` is empty.
     pub fn waitany<T: Payload>(&mut self, reqs: &mut Vec<Request>) -> (usize, Option<T>) {
@@ -332,20 +430,24 @@ impl Comm {
             let Request::Send = reqs.remove(i) else { unreachable!() };
             return (i, None);
         }
+        let inbox = &self.fabric.inboxes[self.rank];
+        let mut st = lock_state(inbox);
         loop {
+            Self::drain_arrived(&mut st, &mut self.pending);
             // Find the delivered receive with the earliest arrival.
             let mut best: Option<(usize, f64)> = None;
             for (i, req) in reqs.iter().enumerate() {
                 let Request::Recv { src, tag, .. } = req else {
                     unreachable!("sends handled above")
                 };
-                if let Some(env) = self.mailboxes[*src].peek(*tag) {
+                if let Some(env) = self.pending[*src].iter().find(|e| e.tag == *tag) {
                     if best.is_none_or(|(_, a)| env.arrival < a) {
                         best = Some((i, env.arrival));
                     }
                 }
             }
             if let Some((i, _)) = best {
+                drop(st);
                 let Request::Recv { src, tag, posted_compute } = reqs.remove(i) else {
                     unreachable!()
                 };
@@ -354,16 +456,22 @@ impl Comm {
                 self.account_overlap(&env, before, posted_compute);
                 return (i, Some(Self::downcast(env)));
             }
-            // Nothing delivered anywhere. If no pending source can ever
-            // deliver again, fail loudly like the blocking path does
-            // instead of spinning forever.
+            // Nothing delivered anywhere. If every awaited source is dead
+            // (see `take` for the ordering argument), fail loudly like
+            // the blocking path does instead of parking forever.
             let hopeless = reqs.iter().all(|req| {
-                let Request::Recv { src, tag, .. } = req else { unreachable!() };
-                self.mailboxes[*src].hopeless(*tag)
+                let Request::Recv { src, .. } = req else { unreachable!() };
+                !self.fabric.alive[*src].load(Ordering::SeqCst)
             });
-            assert!(!hopeless, "peer rank terminated while messages were expected");
-            // Let the sender threads run.
-            std::thread::yield_now();
+            if hopeless {
+                drop(st);
+                panic!("peer rank terminated while messages were expected");
+            }
+            let seq = st.seq;
+            while st.seq == seq {
+                st = inbox.bell.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            self.stats.sched_wakeups += 1;
         }
     }
 
@@ -406,6 +514,13 @@ impl Comm {
 
     /// Barrier restricted to the ranks of this node (clock-synchronizing).
     pub fn node_barrier(&mut self) {
+        self.node_barrier_cat(Category::Barrier);
+    }
+
+    /// Node barrier with the blocked time attributed to `cat` — the
+    /// hierarchical collectives use this so their synchronization shows
+    /// up under the collective's own Table I column.
+    pub(crate) fn node_barrier_cat(&mut self, cat: Category) {
         let ranks: Vec<usize> = self.node_ranks().collect();
         if ranks.len() <= 1 {
             return;
@@ -415,7 +530,7 @@ impl Comm {
         let tag_down = tag_internal(TAG_NODE_BARRIER, 1, self.node() as u64);
         if self.rank == leader {
             for &r in &ranks[1..] {
-                let env = self.take_env(r, tag_up, Category::Barrier);
+                let env = self.take_env(r, tag_up, cat);
                 debug_assert_eq!(env.src, r);
             }
             for &r in &ranks[1..] {
@@ -423,7 +538,7 @@ impl Comm {
             }
         } else {
             self.post(leader, tag_up, Box::new(()), 0);
-            let _ = self.take_env(leader, tag_down, Category::Barrier);
+            let _ = self.take_env(leader, tag_down, cat);
         }
     }
 }
@@ -435,6 +550,9 @@ pub(crate) const TAG_REDUCE: u64 = 4;
 pub(crate) const TAG_ALLTOALLV: u64 = 5;
 pub(crate) const TAG_ALLGATHERV: u64 = 6;
 pub(crate) const TAG_GATHER: u64 = 8;
+pub(crate) const TAG_HIER_REDUCE: u64 = 9;
+pub(crate) const TAG_HIER_GATHER: u64 = 10;
+pub(crate) const TAG_HIER_A2A: u64 = 11;
 
 /// Packs an internal collective tag: `(kind, round, salt)` into the high
 /// tag space so user tags below `1<<48` never collide.
@@ -478,46 +596,38 @@ impl Cluster {
         let p = self.ranks;
         let net = Arc::new(self.net.clone());
         let shm = Arc::new(crate::shm::ShmRegistry::default());
+        let fabric = Arc::new(Fabric {
+            inboxes: (0..p)
+                .map(|_| Inbox {
+                    state: Mutex::new(InboxState { arrived: VecDeque::new(), seq: 0 }),
+                    bell: Condvar::new(),
+                })
+                .collect(),
+            alive: (0..p).map(|_| AtomicBool::new(true)).collect(),
+        });
 
-        // Channel mesh: matrix[src][dst].
-        let mut txs: Vec<Vec<Sender<Envelope>>> = Vec::with_capacity(p);
-        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> = (0..p).map(|_| Vec::new()).collect();
-        for _src in 0..p {
-            let mut row_tx = Vec::with_capacity(p);
-            for rx_dst in rxs.iter_mut() {
-                let (tx, rx) = unbounded();
-                row_tx.push(tx);
-                rx_dst.push(Some(rx));
-            }
-            txs.push(row_tx);
-        }
-
-        let slots: Vec<Mutex<Option<(R, RankReport)>>> = (0..p).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<parking_lot::Mutex<Option<(R, RankReport)>>> =
+            (0..p).map(|_| parking_lot::Mutex::new(None)).collect();
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, rx_row) in rxs.iter_mut().enumerate() {
-                let senders: Vec<Sender<Envelope>> =
-                    (0..p).map(|dst| txs[rank][dst].clone()).collect();
-                let mailboxes: Vec<Mailbox> = rx_row
-                    .iter_mut()
-                    .map(|r| Mailbox {
-                        rx: r.take().expect("receiver moved twice"),
-                        pending: VecDeque::new(),
-                        disconnected: false,
-                    })
-                    .collect();
+            for (rank, slot) in slots.iter().enumerate() {
+                let fabric = Arc::clone(&fabric);
                 let net = Arc::clone(&net);
                 let shm = Arc::clone(&shm);
                 let f = &f;
-                let slot = &slots[rank];
                 let rpn = self.ranks_per_node;
                 handles.push(s.spawn(move || {
+                    // Declared before `comm` so it drops last: the rank is
+                    // announced dead only after all its work (and its
+                    // result hand-off) is complete — and also when `f`
+                    // unwinds.
+                    let _guard = AliveGuard { rank, fabric: Arc::clone(&fabric) };
                     let mut comm = Comm {
                         rank,
                         size: p,
                         ranks_per_node: rpn,
-                        senders,
-                        mailboxes,
+                        fabric,
+                        pending: (0..p).map(|_| VecDeque::new()).collect(),
                         net,
                         shm,
                         clock: 0.0,
@@ -532,12 +642,6 @@ impl Cluster {
                     *slot.lock() = Some((out, report));
                 }));
             }
-            // Release the construction-time sender originals: from here
-            // every mailbox's only senders are the clones owned by the
-            // rank threads, so a rank that finishes (or dies) hangs up
-            // its channels and blocked peers fail loudly ("peer rank
-            // terminated") instead of spinning forever.
-            drop(txs);
             for h in handles {
                 if let Err(e) = h.join() {
                     std::panic::resume_unwind(e);
@@ -737,8 +841,47 @@ mod tests {
                 let mut reqs = vec![c.irecv(0, 99)];
                 let _ = c.waitany::<Vec<f64>>(&mut reqs);
             }
-            // Rank 0 returns immediately, hanging up its channels.
+            // Rank 0 returns immediately, flagging itself dead.
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "peer rank terminated")]
+    fn blocking_recv_panics_when_peer_exits_without_sending() {
+        Cluster::ideal(2).run(|c| {
+            if c.rank() == 1 {
+                let _ = c.recv::<Vec<f64>>(0, 42);
+            }
+        });
+    }
+
+    #[test]
+    fn parked_waits_wake_without_polling() {
+        // A long dependency chain: rank k waits for rank k-1. Each rank's
+        // receive parks exactly until the predecessor's post rings its
+        // doorbell, so the whole chain needs only O(active ranks) wakeups
+        // — at most a couple per blocked receive, never a spin.
+        let p = 32;
+        let out = Cluster::ideal(p).run(|c| {
+            if c.rank() > 0 {
+                let v: Vec<u64> = c.recv(c.rank() - 1, 1);
+                if c.rank() + 1 < c.size() {
+                    c.send(c.rank() + 1, 1, v.clone());
+                }
+                c.stats.sched_wakeups
+            } else {
+                c.send(1, 1, vec![7u64]);
+                c.stats.sched_wakeups
+            }
+        });
+        for (rank, (wakeups, _)) in out.iter().enumerate() {
+            // One blocked receive should cost a handful of wakeups at
+            // most (delivery + the terminations that ring every bell).
+            assert!(
+                *wakeups <= (p as u64) + 4,
+                "rank {rank}: {wakeups} wakeups for one receive"
+            );
+        }
     }
 
     #[test]
@@ -828,6 +971,36 @@ mod tests {
         assert!((out[1].0 - 1.001e-3).abs() < 1e-9, "receiver time {}", out[1].0);
         assert!(out[0].0 < 1e-6, "sender returns immediately");
         assert!(out[1].1.stats.time(Category::Recv) > 0.9e-3);
+    }
+
+    #[test]
+    fn per_phase_attribution_partitions_bytes() {
+        // 4 ranks on 2 nodes: rank 0 sends intra (to 1) and inter (to 2);
+        // the phase counters must partition bytes_sent exactly.
+        let out = Cluster::new(4, 2, NetworkModel::ideal()).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, vec![0u8; 1000]);
+                c.send(2, 2, vec![0u8; 500]);
+            } else if c.rank() == 1 {
+                let _ = c.recv::<Vec<u8>>(0, 1);
+            } else if c.rank() == 2 {
+                let _ = c.recv::<Vec<u8>>(0, 2);
+            }
+            (
+                c.stats.bytes_sent,
+                c.stats.intra_bytes,
+                c.stats.inter_bytes,
+                c.stats.intra_msgs,
+                c.stats.inter_msgs,
+            )
+        });
+        let (total, intra, inter, im, xm) = out[0].0;
+        assert_eq!(total, 1500);
+        assert_eq!(intra, 1000);
+        assert_eq!(inter, 500);
+        assert_eq!(im, 1);
+        assert_eq!(xm, 1);
+        assert_eq!(total, intra + inter, "phase counters must partition bytes_sent");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod hier;
 pub mod shm;
 pub mod stats;
 pub mod topology;

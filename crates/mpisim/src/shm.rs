@@ -102,6 +102,20 @@ impl Comm {
         self.stats.unshared_equivalent_bytes += bytes;
         ShmWindow { buf: arc }
     }
+
+    /// Internal window attach for the hierarchical collectives: same
+    /// registry, but no footprint accounting — collective staging
+    /// buffers are transient scratch, not the resident σ/Φ\*Φ state the
+    /// Sec. IV-B3 memory model tracks. Data movement through the window
+    /// is priced separately via `charge_shm`.
+    pub(crate) fn shm_window_internal<T: Copy + Default + Send + Sync + 'static>(
+        &mut self,
+        id: u64,
+        len: usize,
+    ) -> ShmWindow<T> {
+        let node = self.node();
+        ShmWindow { buf: self.shm.get_or_create::<T>(node, id, len) }
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,30 @@ pub struct Stats {
     count: HashMap<Category, u64>,
     /// Total bytes moved through point-to-point messages this rank sent.
     pub bytes_sent: u64,
+    /// Bytes this rank sent to ranks on its own node (the intra-node
+    /// phase of the two-level communication hierarchy). Together with
+    /// `inter_bytes` this partitions `bytes_sent` exactly.
+    pub intra_bytes: u64,
+    /// Bytes this rank sent to ranks on other nodes (inter-node phase).
+    pub inter_bytes: u64,
+    /// Point-to-point messages sent to same-node destinations.
+    pub intra_msgs: u64,
+    /// Point-to-point messages sent to other-node destinations.
+    pub inter_msgs: u64,
+    /// Wire time (latency + bandwidth terms) of intra-node transfers
+    /// this rank initiated, including shared-memory staging steps of the
+    /// hierarchical collectives.
+    pub intra_wire_s: f64,
+    /// Wire time of inter-node transfers this rank initiated.
+    pub inter_wire_s: f64,
+    /// Bytes staged through node shared-memory windows by the
+    /// hierarchical collectives (not part of `bytes_sent`: staging is a
+    /// memory copy, not a message).
+    pub shm_staged_bytes: u64,
+    /// Times a blocked receive/wait was woken by the inbox doorbell —
+    /// the event-loop cost metric: O(messages received), independent of
+    /// total rank count.
+    pub sched_wakeups: u64,
     /// Private (per-rank) heap bytes charged via `alloc_private`.
     pub private_bytes: u64,
     /// This rank's share of node-shared window bytes.
@@ -126,6 +150,14 @@ impl Stats {
             *e = (*e).max(*n);
         }
         self.bytes_sent = self.bytes_sent.max(other.bytes_sent);
+        self.intra_bytes = self.intra_bytes.max(other.intra_bytes);
+        self.inter_bytes = self.inter_bytes.max(other.inter_bytes);
+        self.intra_msgs = self.intra_msgs.max(other.intra_msgs);
+        self.inter_msgs = self.inter_msgs.max(other.inter_msgs);
+        self.intra_wire_s = self.intra_wire_s.max(other.intra_wire_s);
+        self.inter_wire_s = self.inter_wire_s.max(other.inter_wire_s);
+        self.shm_staged_bytes = self.shm_staged_bytes.max(other.shm_staged_bytes);
+        self.sched_wakeups = self.sched_wakeups.max(other.sched_wakeups);
         self.private_bytes = self.private_bytes.max(other.private_bytes);
         self.shm_bytes = self.shm_bytes.max(other.shm_bytes);
         self.unshared_equivalent_bytes =

@@ -89,6 +89,118 @@ pub fn allgatherv_time(pf: &Platform, p: usize, block_bytes: f64) -> f64 {
     ring_time(pf, p, block_bytes)
 }
 
+// ---------------------------------------------------------------------------
+// Two-level (intra-node SHM + inter-node) closed forms, mirroring the
+// hierarchical collectives `mpisim::hier` executes. The simulator prices
+// intra-node staging at `shm_bw`/`shm_latency` and inter-node hops at
+// `net_bw`/`net_latency`, so these forms cross-validate directly against
+// the virtual clock (`tests/model_vs_simulator.rs`).
+// ---------------------------------------------------------------------------
+
+/// One shared-memory window access of `bytes` (write or read).
+fn shm_access(pf: &Platform, bytes: f64) -> f64 {
+    pf.shm_latency + bytes / pf.shm_bw
+}
+
+/// Two-level all-reduce of `bytes`: members stage into the node window,
+/// the leader combines the `rpn` slots, node leaders run a binomial
+/// reduce+broadcast over the network, and the result fans back out
+/// through the window. Mirrors `mpisim::Comm::hier_allreduce`; below the
+/// hierarchy threshold it degenerates to the simulator's flat binomial
+/// reduce+broadcast.
+pub fn hier_allreduce_time(pf: &Platform, p: usize, bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let rpn = pf.ranks_per_node.max(1);
+    if rpn <= 1 || p <= rpn {
+        // Flat binomial reduce + broadcast: 2·log2(p) sequential hops on
+        // the critical path, each carrying the full vector.
+        return 2.0 * log2_ceil(p) * (pf.net_latency + bytes / pf.net_bw);
+    }
+    let nodes = p.div_ceil(rpn);
+    // Intra phase: member slot write; leader combine of the other rpn-1
+    // slots; leader result write; member result read.
+    let intra = shm_access(pf, bytes)
+        + shm_access(pf, (rpn - 1) as f64 * bytes)
+        + shm_access(pf, bytes)
+        + shm_access(pf, bytes);
+    // Inter phase: binomial reduce + broadcast over the node leaders.
+    let inter = 2.0 * log2_ceil(nodes) * (pf.net_latency + bytes / pf.net_bw);
+    intra + inter
+}
+
+/// Two-level all-to-all where each rank scatters `bytes_total` over the
+/// other ranks: same-node chunks move directly through shared memory;
+/// remote chunks bundle up to the node leader, cross the network as one
+/// header+data pair per node pair, and scatter back down. Mirrors
+/// `mpisim::Comm::hier_alltoallv_group`.
+pub fn hier_alltoallv_time(pf: &Platform, p: usize, bytes_total: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let rpn = pf.ranks_per_node.max(1);
+    let nodes = p.div_ceil(rpn);
+    if rpn <= 1 || nodes <= 1 {
+        return alltoallv_time(pf, p, bytes_total);
+    }
+    // Split the scatter volume by destination locality.
+    let b_same = bytes_total * rpn as f64 / p as f64;
+    let b_rem = bytes_total - b_same;
+    // Direct same-node deliveries (one message per local peer).
+    let direct = (rpn - 1) as f64 * pf.shm_latency + b_same / pf.shm_bw;
+    // Up-bundle to the leader and down-scatter from it: header + data.
+    let up = 2.0 * shm_access(pf, b_rem);
+    let down = 2.0 * shm_access(pf, b_rem);
+    // Cross phase: the leader ingests its whole node's inbound remote
+    // traffic (rpn ranks' worth) as nodes-1 header+data pairs.
+    let cross =
+        2.0 * (nodes - 1) as f64 * pf.net_latency + rpn as f64 * b_rem / pf.net_bw;
+    direct + up + cross + down
+}
+
+/// Average per-step edge cost of a node-contiguous ring of `p` ranks:
+/// `(rpn-1)/rpn` of the hops stay inside a node (shared-memory rates),
+/// the rest cross the network. The simulated ring's critical path is the
+/// dependency chain around the ring, which traverses each edge once per
+/// rotation step, so the chain cost is `steps · ring_edge_time`.
+pub fn ring_edge_time(pf: &Platform, p: usize, block_bytes: f64) -> f64 {
+    let rpn = pf.ranks_per_node.max(1).min(p.max(1));
+    let intra = pf.shm_latency + block_bytes / pf.shm_bw;
+    if rpn >= p {
+        return intra;
+    }
+    let inter = pf.net_latency + block_bytes / pf.net_bw;
+    let f_intra = (rpn - 1) as f64 / rpn as f64;
+    f_intra * intra + (1.0 - f_intra) * inter
+}
+
+/// Node-contiguous ring rotation of `p-1` steps with average circulating
+/// blocks of `block_bytes` (topology-aware refinement of [`ring_time`]).
+pub fn hier_ring_time(pf: &Platform, p: usize, block_bytes: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    (p - 1) as f64 * ring_edge_time(pf, p, block_bytes)
+}
+
+/// Node-contiguous overlapped ring: `p` compute phases of
+/// `compute_per_block`, each hiding the next block's transfer; only the
+/// excess of the mixed intra/inter edge cost over its covering phase
+/// stays visible (topology-aware refinement of [`ring_overlap_time`]).
+pub fn hier_ring_overlap_time(
+    pf: &Platform,
+    p: usize,
+    block_bytes: f64,
+    compute_per_block: f64,
+) -> f64 {
+    if p <= 1 {
+        return compute_per_block;
+    }
+    let edge = ring_edge_time(pf, p, block_bytes);
+    p as f64 * compute_per_block + (p - 1) as f64 * (edge - compute_per_block).max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +255,66 @@ mod tests {
         let t1 = ring_time(&pf(), 16, 1e6);
         let t2 = ring_time(&pf(), 16, 1e8);
         assert!(t2 > 10.0 * t1);
+    }
+
+    #[test]
+    fn hier_allreduce_beats_flat_binomial_at_scale() {
+        // The hierarchical form replaces log2(p) inter rounds with
+        // log2(nodes) plus cheap shm staging; with fast shm it must win.
+        let pf = pf(); // 4 ranks/node, shm 30× the net bandwidth
+        for p in [64usize, 256, 1024] {
+            let flat = 2.0 * log2_ceil(p) * (pf.net_latency + 1e6 / pf.net_bw);
+            let hier = hier_allreduce_time(&pf, p, 1e6);
+            assert!(hier < flat, "p={p}: hier {hier} vs flat {flat}");
+        }
+    }
+
+    #[test]
+    fn hier_forms_degenerate_cleanly() {
+        let pf = pf();
+        assert_eq!(hier_allreduce_time(&pf, 1, 1e9), 0.0);
+        assert_eq!(hier_alltoallv_time(&pf, 1, 1e9), 0.0);
+        assert_eq!(hier_ring_time(&pf, 1, 1e9), 0.0);
+        // Single node: all-reduce takes the flat-binomial branch, the
+        // ring prices every edge at shm rates.
+        let single = hier_allreduce_time(&pf, pf.ranks_per_node, 8e3);
+        assert!(single > 0.0);
+        let intra_ring = hier_ring_time(&pf, pf.ranks_per_node, 1e6);
+        let expect = (pf.ranks_per_node - 1) as f64 * (pf.shm_latency + 1e6 / pf.shm_bw);
+        assert!((intra_ring - expect).abs() < 1e-12 * expect.max(1.0));
+        // One rank per node: alltoallv reduces to the flat pairwise form.
+        let mut flat_pf = pf.clone();
+        flat_pf.ranks_per_node = 1;
+        assert_eq!(
+            hier_alltoallv_time(&flat_pf, 16, 1e6),
+            alltoallv_time(&flat_pf, 16, 1e6)
+        );
+    }
+
+    #[test]
+    fn hier_ring_cheaper_than_all_inter_ring() {
+        // 3 of every 4 ring hops are intra-node, so the topology-aware
+        // ring must undercut the all-inter closed form.
+        let pf = pf();
+        for p in [16usize, 128, 512] {
+            let flat = ring_time(&pf, p, 1e6);
+            let hier = hier_ring_time(&pf, p, 1e6);
+            assert!(hier < flat, "p={p}: {hier} vs {flat}");
+        }
+    }
+
+    #[test]
+    fn hier_ring_overlap_hides_compute_covered_edges() {
+        let pf = pf();
+        let p = 64;
+        let bytes = 1e6;
+        let edge = ring_edge_time(&pf, p, bytes);
+        // Compute-dominated: only the compute phases remain.
+        let t = hier_ring_overlap_time(&pf, p, bytes, 10.0 * edge);
+        assert!((t - p as f64 * 10.0 * edge).abs() < 1e-9);
+        // Communication-dominated: degenerates to the blocking ring.
+        let t = hier_ring_overlap_time(&pf, p, bytes, 0.0);
+        assert!((t - hier_ring_time(&pf, p, bytes)).abs() < 1e-12);
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct Platform {
     pub net_bw: f64,
     /// Network latency per message (s).
     pub net_latency: f64,
+    /// Intra-node shared-memory staging bandwidth (bytes/s) — the rate at
+    /// which the two-level collectives move data through MPI-3 shared
+    /// windows between ranks of the same node.
+    pub shm_bw: f64,
+    /// Intra-node shared-memory staging latency per access (s).
+    pub shm_latency: f64,
     /// Extra multiplier on broadcast traffic (global congestion vs the
     /// single-hop neighbor exchanges of the ring method — the 6D torus
     /// punishes broadcasts more than the fat tree).
@@ -65,6 +71,8 @@ impl Platform {
             bw_eff: 0.16,
             net_bw: 6.8e9 / 4.0,
             net_latency: 1.2e-6,
+            shm_bw: 2.0e11,
+            shm_latency: 0.15e-6,
             bcast_penalty: 4.3,
             accelerator: false,
             ranks_per_node: 4,
@@ -85,6 +93,8 @@ impl Platform {
             bw_eff: 0.85,
             net_bw: 12.5e9 / 4.0,
             net_latency: 4.0e-6,
+            shm_bw: 6.4e10,
+            shm_latency: 1.0e-6,
             bcast_penalty: 4.0,
             accelerator: true,
             ranks_per_node: 4,

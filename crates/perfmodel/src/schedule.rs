@@ -12,7 +12,10 @@
 //! sphere holds ~π/48 of the FFT cube), which is what makes the exchange
 //! volumes match the paper's Table I magnitudes.
 
-use crate::comm::{allreduce_time, alltoallv_time, bcast_time, ring_time};
+use crate::comm::{
+    allreduce_time, alltoallv_time, bcast_time, hier_allreduce_time, hier_alltoallv_time,
+    hier_ring_overlap_time, hier_ring_time, ring_time,
+};
 use crate::platform::Platform;
 use crate::workload::Workload;
 
@@ -288,6 +291,73 @@ pub fn step_time(pf: &Platform, w: &Workload, nodes: usize, variant: Variant) ->
     b.anderson /= u;
     b.other /= u;
     b
+}
+
+/// Shape of one *simulated* distributed PT-IM step — the configuration
+/// the scaling harness drives through `ptim::distributed::dist_ptim_step`
+/// on the mpisim virtual clock.
+#[derive(Clone, Copy, Debug)]
+pub struct DistStepShape {
+    /// Total ranks.
+    pub p: usize,
+    /// Total bands N.
+    pub n_bands: usize,
+    /// FFT grid points.
+    pub ng: usize,
+    /// Modeled compute seconds charged per exchange pair solve.
+    pub solve_cost_s: f64,
+    /// SCF corrector iterations (`max_scf`); the predictor adds one more
+    /// fixed-point evaluation.
+    pub max_scf: usize,
+}
+
+/// Closed-form prediction of the virtual-clock time of one simulated
+/// `dist_ptim_step` (RingOverlap exchange, SHM-backed σ) at `shape`.
+///
+/// This models exactly the charges the simulator's clock sees — wire
+/// time under the two-level collective forms plus the modeled per-solve
+/// exchange compute — **not** the physical kernel workload of
+/// [`step_time`] (the simulated step's host-side math costs no virtual
+/// time). Per fixed-point evaluation the step runs: two ring rotations
+/// (natural orbitals + subspace correction), one ρ all-reduce, the
+/// overlapped exchange ring, and two overlap builds (four band→grid
+/// transposes + two N×N all-reduces); the final Löwdin pass adds one
+/// more overlap build and rotation. All rings are node-contiguous, so
+/// their dependency chains mix intra- and inter-node edges
+/// ([`crate::comm::ring_edge_time`]).
+pub fn dist_step_sim_time(pf: &Platform, shape: &DistStepShape) -> f64 {
+    let DistStepShape { p, n_bands, ng, solve_cost_s, max_scf } = *shape;
+    let n_updates = (max_scf + 1) as f64;
+    let n = n_bands as f64;
+    let nb_max = n_bands.div_ceil(p) as f64;
+    // Average circulating ring block (bands travel as full complex
+    // grids, 16 bytes per point; blocks are empty on band-less ranks).
+    let block_bytes = 16.0 * n * ng as f64 / p as f64;
+
+    // Subspace rotations: 2 per evaluation + the final Löwdin rotation.
+    let rotations = 2.0 * n_updates + 1.0;
+    let t_rotate = hier_ring_time(pf, p, block_bytes);
+
+    // Overlapped exchange: every evaluation circulates the natural
+    // orbitals once; the busiest rank solves n_src × nb_max pairs spread
+    // over the p ring phases.
+    let compute_per_block = n * nb_max * solve_cost_s / p as f64;
+    let t_fock = hier_ring_overlap_time(pf, p, block_bytes, compute_per_block);
+
+    // Overlap builds: 2 per evaluation (S, Hm) + the final Löwdin S.
+    // Each transposes both operand blocks (band→grid alltoallv of the
+    // busiest rank's local bands) and reduces one N×N partial product.
+    let overlaps = 2.0 * n_updates + 1.0;
+    let t_transpose = hier_alltoallv_time(pf, p, 16.0 * nb_max * ng as f64);
+    let t_mat_reduce = hier_allreduce_time(pf, p, 16.0 * n * n);
+
+    // Density: one real-grid all-reduce per evaluation.
+    let t_rho = hier_allreduce_time(pf, p, 8.0 * ng as f64);
+
+    rotations * t_rotate
+        + n_updates * t_fock
+        + overlaps * (2.0 * t_transpose + t_mat_reduce)
+        + n_updates * t_rho
 }
 
 #[cfg(test)]

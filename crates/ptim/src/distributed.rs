@@ -164,7 +164,7 @@ pub fn scatter_state(comm: &Comm, full: &TdState, dist: &BandDistribution) -> Di
 
 /// Gathers the distributed state back to a full state (allgatherv).
 pub fn gather_state(comm: &mut Comm, st: &DistState, dist: &BandDistribution) -> TdState {
-    let blocks = comm.allgatherv(st.phi_local.data.clone());
+    let blocks = comm.hier_allgatherv(st.phi_local.data.clone());
     let ng = st.phi_local.ng;
     let mut data = Vec::with_capacity(dist.n_bands * ng);
     for b in blocks {
@@ -208,7 +208,7 @@ pub fn dist_overlap(
                 c
             })
             .collect();
-        comm.alltoallv(chunks)
+        comm.alltoallv_auto(chunks)
     };
     let a_t = transpose(comm, a_local);
     let b_t = transpose(comm, b_local);
@@ -232,7 +232,7 @@ pub fn dist_overlap(
     } else {
         CMat::zeros(n, n)
     };
-    let reduced = comm.allreduce(partial.as_slice().to_vec());
+    let reduced = comm.hier_allreduce(partial.as_slice().to_vec());
     CMat::from_vec(n, n, reduced)
 }
 
@@ -279,7 +279,8 @@ pub fn dist_rotate(
 }
 
 /// Distributed mixed-state density from natural orbitals: local partial
-/// sums + `allreduce` (node-aware variant used when `node_aware`).
+/// sums + `allreduce` (the hierarchical shm-staged variant when
+/// `node_aware`).
 pub fn dist_density(
     comm: &mut Comm,
     sys: &DftSystem,
@@ -300,7 +301,7 @@ pub fn dist_density(
         }
     }
     if node_aware {
-        comm.allreduce_node_aware(rho)
+        comm.hier_allreduce(rho)
     } else {
         comm.allreduce(rho)
     }

@@ -274,6 +274,56 @@ fn two_d_grid_matches_serial_with_fft_counters() {
 }
 
 #[test]
+fn ring_overlap_matches_serial_at_64_and_96_ranks() {
+    // Paper-scale rank counts on genuine band×grid 2-D layouts: 64
+    // ranks (8 groups × 8 grid ranks) and 96 ranks (12 × 8 — a
+    // non-power-of-two world size). Packed 4 ranks per node, every
+    // row's slab transposes route through the hierarchical group
+    // all-to-all (each 8-rank row spans 2 nodes), and the whole run
+    // executes under the O(active ranks) event loop — this is the
+    // scaling regression for both.
+    let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.0, [8, 8, 8]);
+    let n_bands = 16;
+    let ng = sys.grid.len();
+    let (n0, n1, n2) = (8, 8, 8);
+    let phi = Wavefunction::random(&sys.grid, n_bands, 11);
+    let nat_r = phi.to_real_all(&sys.fft);
+    let psi = Wavefunction::random(&sys.grid, n_bands, 12);
+    let psi_r = psi.to_real_all(&sys.fft);
+    let occ: Vec<f64> = (0..n_bands).map(|i| 1.0 / (1.0 + 0.2 * i as f64)).collect();
+    let fock = FockOperator::new(&sys.grid, 0.2);
+    let serial = fock.apply_diag(&nat_r, &occ, &psi_r);
+    for (groups, grid_ranks) in [(8usize, 8usize), (12, 8)] {
+        let p = groups * grid_ranks;
+        let out = Cluster::new(p, 4, NetworkModel::ideal()).run(|c| {
+            let pgrid = ProcessGrid::new(c.size(), groups);
+            let (bg, _) = pgrid.coords(c.rank());
+            let dist = BandDistribution::new(n_bands, groups);
+            let fock = FockOperator::new(&sys.grid, 0.2);
+            let dfft = DistFft3::new(n0, n1, n2, pgrid.row_members(bg));
+            let nat_local = scatter_slab(&nat_r, ng, &pgrid, &dist, Some(&dfft), c.rank());
+            let psi_local = scatter_slab(&psi_r, ng, &pgrid, &dist, Some(&dfft), c.rank());
+            let (vx, _) = ring_overlap_fock_apply(
+                c,
+                &fock,
+                &pgrid,
+                &dist,
+                Some(&dfft),
+                &nat_local,
+                &occ,
+                &psi_local,
+                0.0,
+            );
+            let want = scatter_slab(&serial, ng, &pgrid, &dist, Some(&dfft), c.rank());
+            max_abs_diff(&vx, &want)
+        });
+        for (rank, (d, _)) in out.iter().enumerate() {
+            assert!(*d < 1e-10, "p={p} ({groups}×{grid_ranks}) rank={rank}: mismatch {d}");
+        }
+    }
+}
+
+#[test]
 fn overlap_hides_at_least_half_the_exchange_communication_at_16_ranks() {
     // The acceptance bar: at 16 simulated ranks, with the pair solves
     // charged to the virtual clock, the ring-pipelined exchange must

@@ -213,7 +213,7 @@ impl DistFft3 {
                 c
             })
             .collect();
-        let parts = comm.alltoallv_group(&self.members, chunks);
+        let parts = comm.alltoallv_group_auto(&self.members, chunks);
 
         // Assemble the (i1_local, i0, i2) buffer and run the axis-0 lines.
         let my1 = self.slab1(me);
@@ -264,7 +264,7 @@ impl DistFft3 {
                 c
             })
             .collect();
-        let parts = comm.alltoallv_group(&self.members, back);
+        let parts = comm.alltoallv_group_auto(&self.members, back);
         for (src, part) in parts.iter().enumerate() {
             let s1 = self.slab1(src);
             assert_eq!(part.len(), s1.len() * my0.len() * n2, "transpose-back chunk mismatch");

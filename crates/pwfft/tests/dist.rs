@@ -18,7 +18,7 @@ fn scatter(d: &DistFft3, full: &[Complex64], idx: usize) -> Vec<Complex64> {
 }
 
 /// Gathers every rank's slab back into a full grid (root-free, for tests).
-fn gather(comm: &mut Comm, d: &DistFft3, local: Vec<Complex64>) -> Vec<Complex64> {
+fn gather(comm: &mut Comm, _d: &DistFft3, local: Vec<Complex64>) -> Vec<Complex64> {
     let blocks = comm.allgatherv(local);
     blocks.into_iter().flatten().collect()
 }

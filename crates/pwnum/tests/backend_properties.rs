@@ -4,7 +4,7 @@
 //! ops — the contract that makes the backend seam safe to swap.
 
 use proptest::prelude::*;
-use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform, GridTransform32};
+use pwnum::backend::{by_name, BackendHandle, GridTransform, GridTransform32};
 use pwnum::cmat::CMat;
 use pwnum::complex::{c64, Complex64};
 use pwnum::gemm::Op;

@@ -215,6 +215,31 @@ fn overlap_schedule_prediction_tracks_measured_ring_overlap_step() {
 }
 
 #[test]
+fn dist_step_model_tracks_simulator_at_scale() {
+    // The Fig. 10/11 agreement gate: the two-level closed form
+    // (`perfmodel::dist_step_sim_time`) must predict the virtual-clock
+    // time of the *real* `dist_ptim_step` within 25% at every paper-scale
+    // point — both the strong series (fixed 64 bands) and the weak series
+    // (bands = ranks/8). Both sides come from the bench crate's canonical
+    // dist-scale config (si8, 8x8x8 grid, 4 ranks/node, Fugaku torus,
+    // RingOverlap + SHM), so this test gates exactly what the figure
+    // binaries emit into BENCH_dist_scale.json.
+    use pwdft_bench::{dist_scale_model_s, measure_dist_step};
+
+    let points = [(128usize, 64usize), (256, 64), (512, 64), (128, 16), (256, 32)];
+    for (p, n_bands) in points {
+        let measured = measure_dist_step(p, n_bands);
+        let model = dist_scale_model_s(p, n_bands);
+        let ratio = measured / model;
+        assert!(
+            (0.75..1.25).contains(&ratio),
+            "p={p}, bands={n_bands}: measured {measured:.6} vs model {model:.6} \
+             (ratio {ratio:.3} outside the 25% gate)"
+        );
+    }
+}
+
+#[test]
 fn node_aware_allreduce_cheaper_on_simulator_too() {
     let mut net = test_net();
     net.shm_bandwidth = 1e11; // fast intra-node

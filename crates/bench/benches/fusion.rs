@@ -1,0 +1,187 @@
+//! Fusion + autotune bench: the fused pair-solve pipeline vs the staged
+//! tile scheduler on the Fock `apply_pure` hot path (Blocked backend,
+//! 12³ grid, Fermi–Dirac occupations at the paper's 8000 K), and the
+//! backend autotuner's default-vs-tuned shape measurements.
+//!
+//! Writes `BENCH_fusion.json` (gated in CI by `bin/compare.rs`: fused
+//! ≥ 1.25× staged on the N = 64 Fock apply, fused bitwise identical to
+//! staged, and autotuned never slower than the default shapes on any
+//! row) and `TUNING.json` — the persisted tuning table CI uploads as an
+//! artifact; point `PWDFT_TUNING_FILE` at it to adopt the shapes.
+
+use pwdft::fock::FockOptions;
+use pwdft::smearing::{occupations, KB_HARTREE};
+use pwdft::{Cell, FockOperator, PwGrid, Wavefunction};
+use pwdft_bench::median_secs;
+use pwnum::backend::{Blocked, BackendHandle};
+use pwnum::precision::PrecisionPolicy;
+use pwnum::tuning::{autotune_with, AutotuneReport, TuneKey, TunedShapes, TuningTable};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [12, 12, 12];
+
+fn fd_occ(n: usize) -> Vec<f64> {
+    let kt = KB_HARTREE * 8000.0;
+    let eigs: Vec<f64> = (0..n).map(|i| -0.0025 * n as f64 + 0.005 * i as f64).collect();
+    let (_, occ) = occupations(&eigs, n as f64, kt);
+    occ
+}
+
+struct FusionRow {
+    bands: usize,
+    staged_s: f64,
+    fused_s: f64,
+    max_diff: f64,
+    solves: usize,
+}
+
+/// Head-to-head fused vs staged `apply_pure` at `n` bands on a fresh
+/// Blocked backend (both pipelines share one operator grid + kernel).
+fn measure_fusion(grid: &PwGrid, n: usize, iters: usize) -> FusionRow {
+    let fft = grid.fft();
+    let occ = fd_occ(n);
+    let wf = Wavefunction::random(grid, n, 3);
+    let phi_r = wf.to_real_all(&fft);
+    let be: BackendHandle = Arc::new(Blocked::new());
+    let fused = FockOperator::with_options(grid, 0.106, be.clone(), FockOptions::default());
+    let staged = FockOperator::with_options(
+        grid,
+        0.106,
+        be,
+        FockOptions::default().with_fused(false),
+    );
+    let (vf, stats) = fused.apply_pure_stats(&phi_r, &occ);
+    let (vs, _) = staged.apply_pure_stats(&phi_r, &occ);
+    let max_diff = pwnum::cvec::max_abs_diff(&vf, &vs);
+    let staged_s = median_secs(iters, || {
+        black_box(staged.apply_pure(black_box(&phi_r), black_box(&occ)));
+    });
+    let fused_s = median_secs(iters, || {
+        black_box(fused.apply_pure(black_box(&phi_r), black_box(&occ)));
+    });
+    FusionRow { bands: n, staged_s, fused_s, max_diff, solves: stats.solves }
+}
+
+/// The pinned candidate list: the defaults first (the autotuner would
+/// prepend them anyway), then one-knob excursions per shape — register
+/// block widths around the default 4, and tile sizes around the default
+/// 32. `fft_slab` stays 0 (one slab per worker): the slab knob only
+/// moves on multi-worker hosts, and candidates are kept value-neutral.
+fn candidates() -> Vec<TunedShapes> {
+    let d = TunedShapes::default();
+    vec![
+        d,
+        TunedShapes { gemm_block: 2, ..d },
+        TunedShapes { gemm_block: 8, ..d },
+        TunedShapes { tile_bands: 8, ..d },
+        TunedShapes { tile_bands: 16, ..d },
+        TunedShapes { tile_bands: 64, ..d },
+    ]
+}
+
+/// Autotunes one `(dims, bands, precision)` key on the Blocked backend:
+/// the measured workload is the staged Fock apply (tile_bands-sensitive)
+/// plus a band-gram overlap (gemm_block-sensitive), each candidate on a
+/// freshly shaped backend.
+fn run_autotune(
+    table: &mut TuningTable,
+    grid: &PwGrid,
+    n: usize,
+    precision: &str,
+) -> AutotuneReport {
+    let fft = grid.fft();
+    let occ = fd_occ(n);
+    let wf = Wavefunction::random(grid, n, 5);
+    let phi_r = wf.to_real_all(&fft);
+    let ng = grid.len();
+    let policy = if precision == "fp32" {
+        PrecisionPolicy::mixed()
+    } else {
+        PrecisionPolicy::fp64()
+    };
+    let key = TuneKey {
+        dims: DIMS,
+        bands: n,
+        precision: precision.to_string(),
+        backend: "blocked".to_string(),
+    };
+    autotune_with(table, key, &candidates(), |shapes| {
+        let be: BackendHandle = Arc::new(Blocked::with_shapes(*shapes));
+        let op = FockOperator::with_options(
+            grid,
+            0.106,
+            be.clone(),
+            FockOptions::default()
+                .with_fused(false)
+                .with_tile_bands(shapes.tile_bands)
+                .with_precision(policy),
+        );
+        pwnum::tuning::median_wall_secs(3, || {
+            black_box(op.apply_pure(black_box(&phi_r), black_box(&occ)));
+            black_box(be.overlap(black_box(&phi_r), black_box(&phi_r), ng, 1.0));
+        })
+    })
+}
+
+fn autotune_json(name: &str, n: usize, precision: &str, r: &AutotuneReport) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"bands\": {n}, \"precision\": \"{precision}\", \
+         \"default_s\": {:.6e}, \"tuned_s\": {:.6e}, \"autotune_speedup\": {:.3}, \
+         \"gemm_block\": {}, \"fft_slab\": {}, \"tile_bands\": {}, \"candidates\": {}}},\n",
+        r.default_secs,
+        r.tuned_secs,
+        r.default_secs / r.tuned_secs,
+        r.shapes.gemm_block,
+        r.shapes.fft_slab,
+        r.shapes.tile_bands,
+        r.measurements.len(),
+    )
+}
+
+fn main() {
+    let cell = Cell::silicon_supercell(1, 1, 1);
+    let grid = PwGrid::with_dims(&cell, 2.0, DIMS);
+
+    // --- Fused vs staged pipeline ---
+    let rows = vec![measure_fusion(&grid, 32, 7), measure_fusion(&grid, 64, 5)];
+
+    // --- Autotune: per-key default vs tuned shapes ---
+    let mut table = TuningTable::new();
+    let r64 = run_autotune(&mut table, &grid, 64, "fp64");
+    let r32 = run_autotune(&mut table, &grid, 32, "fp64");
+    let r64f = run_autotune(&mut table, &grid, 64, "fp32");
+    // The fp64 N=64 winner also becomes the backend-wide wildcard entry,
+    // so `Blocked::new()` / `FockOptions::default()` pick it up when
+    // `PWDFT_TUNING_FILE` points at the artifact.
+    table.insert(TuneKey::wildcard("blocked", "fp64"), r64.shapes);
+    table.save("TUNING.json").expect("write TUNING.json");
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for r in &rows {
+        json.push_str(&format!(
+            "    {{\"name\": \"fock_fusion_n{}\", \"bands\": {}, \"staged_s\": {:.6e}, \
+             \"fused_s\": {:.6e}, \"speedup\": {:.3}, \"fused_max_diff\": {:.1e}, \
+             \"solves\": {}}},\n",
+            r.bands,
+            r.bands,
+            r.staged_s,
+            r.fused_s,
+            r.staged_s / r.fused_s,
+            r.max_diff,
+            r.solves,
+        ));
+    }
+    json.push_str(&autotune_json("autotune_fp64_n64", 64, "fp64", &r64));
+    json.push_str(&autotune_json("autotune_fp64_n32", 32, "fp64", &r32));
+    let mut last = autotune_json("autotune_fp32_n64", 64, "fp32", &r64f);
+    last.truncate(last.trim_end().len() - 1); // drop trailing comma
+    json.push_str(&last);
+    json.push('\n');
+    json.push_str(
+        "  ],\n  \"backend\": \"blocked\", \"grid\": \"12x12x12\", \
+         \"temperature_k\": 8000, \"table\": \"TUNING.json\"\n}\n",
+    );
+    std::fs::write("BENCH_fusion.json", &json).expect("write BENCH_fusion.json");
+    println!("wrote BENCH_fusion.json and TUNING.json:\n{json}");
+}

@@ -23,6 +23,12 @@
 //!   ranks in both the strong (64 bands) and weak (ranks/8 bands)
 //!   series. Rows whose `source` is `model` (from `--model-only` runs)
 //!   are rejected: the gate demands simulator-measured rows.
+//! * `BENCH_fusion.json` — the fused pair-solve pipeline must be
+//!   ≥ 1.25× the staged tile scheduler on Fock `apply_pure` at N = 64
+//!   (Blocked backend) while agreeing bitwise, and the autotuned shapes
+//!   must never be slower than the defaults on any tuned row (≥ 1.0×,
+//!   deterministic by construction: the defaults are always measured
+//!   and the winner is the argmin).
 
 use std::process::ExitCode;
 
@@ -166,6 +172,57 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 ),
             ])
         }
+        "BENCH_fusion.json" => {
+            fn autotune_gate(what: &'static str, bands: f64, precision: &'static str) -> MetricGate {
+                MetricGate {
+                    what,
+                    select_key: "bands",
+                    select_val: bands,
+                    exclude: None,
+                    require: Some(precision),
+                    metric: "autotune_speedup",
+                    min: Some(1.0),
+                    max: None,
+                }
+            }
+            Some(vec![
+                MetricGate {
+                    what: "fused pair-solve speedup over staged at N=64",
+                    select_key: "bands",
+                    select_val: 64.0,
+                    exclude: None,
+                    require: Some("fock_fusion"),
+                    metric: "speedup",
+                    min: Some(1.25),
+                    max: None,
+                },
+                MetricGate {
+                    what: "fused vs staged max deviation at N=64 (bitwise)",
+                    select_key: "bands",
+                    select_val: 64.0,
+                    exclude: None,
+                    require: Some("fock_fusion"),
+                    metric: "fused_max_diff",
+                    min: None,
+                    max: Some(0.0),
+                },
+                autotune_gate(
+                    "autotuned vs default shapes (fp64, N=64)",
+                    64.0,
+                    "\"precision\": \"fp64\"",
+                ),
+                autotune_gate(
+                    "autotuned vs default shapes (fp64, N=32)",
+                    32.0,
+                    "\"precision\": \"fp64\"",
+                ),
+                autotune_gate(
+                    "autotuned vs default shapes (fp32, N=64)",
+                    64.0,
+                    "\"precision\": \"fp32\"",
+                ),
+            ])
+        }
         _ => None,
     }
 }
@@ -241,6 +298,7 @@ fn main() -> ExitCode {
             format!("{dir}/BENCH_mixed_precision.json"),
             format!("{dir}/BENCH_dist_overlap.json"),
             format!("{dir}/BENCH_dist_scale.json"),
+            format!("{dir}/BENCH_fusion.json"),
         ]
     } else {
         args

@@ -30,7 +30,7 @@
 
 use crate::gvec::PwGrid;
 use pwfft::{Fft3, Fft32};
-use pwnum::backend::{default_backend, BackendHandle};
+use pwnum::backend::{default_backend, BackendHandle, PairTask};
 use pwnum::bands;
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
@@ -72,15 +72,60 @@ pub struct FockOptions {
     /// per-pair distributed entry points ([`FockOperator::accumulate_pair`],
     /// [`FockOperator::accumulate_pair_sym`]) always run fp64.
     pub precision: PrecisionPolicy,
+    /// Take the fused pair-solve pipeline (default): each pair density
+    /// runs demote → forward FFT → K(G) multiply → inverse FFT →
+    /// promote-scatter in one pass over two pooled grids
+    /// ([`Backend::fused_pair_solve`](pwnum::backend::Backend::fused_pair_solve)),
+    /// instead of staging `tile_bands` pair grids through a tile arena
+    /// between the density, solve and scatter loops. Bitwise identical
+    /// to the staged scheduler (the backends' fused convolve is exact);
+    /// `false` restores the staged tile pipeline (the distributed
+    /// engines still use it for overlap batching).
+    pub fused: bool,
+    /// Construction guard: [`FockOptions`] should be built from
+    /// [`FockOptions::default`] (struct update or the `with_*` builders)
+    /// so `tile_bands` resolves through the autotuning table
+    /// ([`pwnum::tuning`]). Naming this field — the only way to write a
+    /// full literal — warns.
+    #[deprecated(
+        note = "use FockOptions::default() + struct update / with_* builders \
+                so tile_bands resolves through the pwnum tuning table"
+    )]
+    pub _bypass_tuning: (),
 }
 
 impl Default for FockOptions {
+    #[allow(deprecated)]
     fn default() -> Self {
         FockOptions {
             occ_cutoff: DEFAULT_OCC_CUTOFF,
-            tile_bands: 32,
+            tile_bands: pwnum::tuning::default_tile_bands(),
             precision: PrecisionPolicy::fp64(),
+            fused: true,
+            _bypass_tuning: (),
         }
+    }
+}
+
+impl FockOptions {
+    /// Default options with an explicit occupation cutoff.
+    pub fn with_occ_cutoff(self, occ_cutoff: f64) -> Self {
+        FockOptions { occ_cutoff, ..self }
+    }
+
+    /// Overrides the (tuning-table-resolved) scheduler tile size.
+    pub fn with_tile_bands(self, tile_bands: usize) -> Self {
+        FockOptions { tile_bands, ..self }
+    }
+
+    /// Sets the per-stage precision policy.
+    pub fn with_precision(self, precision: PrecisionPolicy) -> Self {
+        FockOptions { precision, ..self }
+    }
+
+    /// Enables/disables the fused pair-solve pipeline.
+    pub fn with_fused(self, fused: bool) -> Self {
+        FockOptions { fused, ..self }
     }
 }
 
@@ -365,10 +410,14 @@ impl<'g> FockOperator<'g> {
     /// When `psi_r` *aliases* `phi_r` (ACE rebuilds, [`Self::apply_pure`],
     /// [`Self::apply_mixed_diag`]) the Hermitian pair-symmetric scheduler
     /// runs — `i ≤ j` pairs only, ~half the Poisson solves; otherwise the
-    /// asymmetric per-target batch path. Both are tiled to
-    /// [`FockOptions::tile_bands`] pairs per batched solve with one
-    /// pooled, allocation-free tile arena, and screened by
-    /// [`FockOptions::occ_cutoff`].
+    /// asymmetric per-target batch path. Both are screened by
+    /// [`FockOptions::occ_cutoff`]. Under the default
+    /// [`FockOptions::fused`] each surviving pair runs density → Poisson
+    /// round trip → scatter in one fused pass over two pooled grids
+    /// ([`pwnum::backend::Backend::fused_pair_solve`]); with fusion off
+    /// they are tiled to [`FockOptions::tile_bands`] pairs per batched
+    /// solve through one pooled tile arena. The two pipelines are
+    /// bitwise identical.
     pub fn apply_diag(
         &self,
         phi_r: &[Complex64],
@@ -448,6 +497,52 @@ impl<'g> FockOperator<'g> {
             // W_ij into the fp64 targets (two-sum compensated under
             // Fp32Promoted).
             let phi32 = precision::demote(phi_r);
+            if self.opts.fused {
+                if let Some(kit) = &self.fp32 {
+                    // Fused fp32 pipeline: one pooled pair grid + one
+                    // pooled scratch arena for every pair — no demoted
+                    // tile buffer between the density, solve and
+                    // promote-scatter stages.
+                    let mut tasks = Vec::with_capacity(pairs.len());
+                    for &(i, j) in &pairs {
+                        let (i, j) = (i as usize, j as usize);
+                        let fwd = d[i].abs() >= cutoff;
+                        let rev = i != j && d[j].abs() >= cutoff;
+                        stats.contributions += usize::from(fwd) + usize::from(rev);
+                        tasks.push(PairTask {
+                            i,
+                            j,
+                            w_fwd: if fwd { -d[i] } else { 0.0 },
+                            w_rev: if rev { -d[j] } else { 0.0 },
+                        });
+                    }
+                    stats.solves += tasks.len();
+                    stats.solves_fp32 += tasks.len();
+                    let mut comp: Option<Vec<Complex64>> = self
+                        .opts
+                        .precision
+                        .exchange
+                        .compensated()
+                        .then(|| be.take_buffer(n * ng));
+                    be.fused_pair_solve32(
+                        &kit.fft.convolve_pass(&kit.kg, be),
+                        phi32.as_slice(),
+                        phi32.as_slice(),
+                        ng,
+                        &tasks,
+                        &mut out,
+                        comp.as_deref_mut(),
+                    );
+                    self.counters.add_fp32(tasks.len());
+                    if let Some(c) = comp {
+                        be.recycle_buffer(c);
+                    }
+                    return (out, stats);
+                }
+                // No fp32 FFT kit (fp64 fft stage): the promoted
+                // half-path keeps the staged tile pipeline, which
+                // amortizes the per-tile promote/demote round trip.
+            }
             // Pooled zeroed buffer: the compensation array is output-
             // sized and would otherwise be a fresh allocation per apply.
             let mut comp: Option<Vec<Complex64>> = self
@@ -497,6 +592,38 @@ impl<'g> FockOperator<'g> {
             if let Some(c) = comp {
                 be.recycle_buffer(c);
             }
+            return (out, stats);
+        }
+        if self.opts.fused {
+            // Fused fp64 pipeline: per pair, density → Poisson round
+            // trip → both scatters over one pooled grid, instead of
+            // staging `tile` pair grids through the arena. Bitwise
+            // identical to the staged loop below (same elementwise
+            // kernels in the same order; the backends' fused convolve
+            // is exact against the staged round trip).
+            let mut tasks = Vec::with_capacity(pairs.len());
+            for &(i, j) in &pairs {
+                let (i, j) = (i as usize, j as usize);
+                let fwd = d[i].abs() >= cutoff;
+                let rev = i != j && d[j].abs() >= cutoff;
+                stats.contributions += usize::from(fwd) + usize::from(rev);
+                tasks.push(PairTask {
+                    i,
+                    j,
+                    w_fwd: if fwd { -d[i] } else { 0.0 },
+                    w_rev: if rev { -d[j] } else { 0.0 },
+                });
+            }
+            stats.solves += tasks.len();
+            be.fused_pair_solve(
+                &self.fft.convolve_pass(&self.kernel.kg, be),
+                phi_r,
+                phi_r,
+                ng,
+                &tasks,
+                &mut out,
+            );
+            self.counters.add_fp64(tasks.len());
             return (out, stats);
         }
         // One pooled tile arena for the whole apply (contents
@@ -575,6 +702,41 @@ impl<'g> FockOperator<'g> {
             // accumulate into fp64.
             let phi32 = precision::demote(phi_r);
             let psi32 = precision::demote(psi_r);
+            if self.opts.fused {
+                if let Some(kit) = &self.fp32 {
+                    // Fused fp32 pipeline, forward scatters only.
+                    let mut tasks = Vec::with_capacity(occ.len() * n_tgt);
+                    for j in 0..n_tgt {
+                        for &i in &occ {
+                            tasks.push(PairTask { i, j, w_fwd: -d[i], w_rev: 0.0 });
+                        }
+                    }
+                    stats.solves += tasks.len();
+                    stats.solves_fp32 += tasks.len();
+                    stats.contributions += tasks.len();
+                    let mut comp: Option<Vec<Complex64>> = self
+                        .opts
+                        .precision
+                        .exchange
+                        .compensated()
+                        .then(|| be.take_buffer(n_tgt * ng));
+                    be.fused_pair_solve32(
+                        &kit.fft.convolve_pass(&kit.kg, be),
+                        phi32.as_slice(),
+                        psi32.as_slice(),
+                        ng,
+                        &tasks,
+                        &mut out,
+                        comp.as_deref_mut(),
+                    );
+                    self.counters.add_fp32(tasks.len());
+                    if let Some(c) = comp {
+                        be.recycle_buffer(c);
+                    }
+                    return (out, stats);
+                }
+                // fp64 fft stage: keep the staged promoted half-path.
+            }
             let mut comp: Option<Vec<Complex64>> = self
                 .opts
                 .precision
@@ -611,6 +773,30 @@ impl<'g> FockOperator<'g> {
             if let Some(c) = comp {
                 be.recycle_buffer(c);
             }
+            return (out, stats);
+        }
+        if self.opts.fused {
+            // Fused fp64 pipeline, forward scatters only — the task
+            // order (target-major, sources ascending) matches the
+            // staged per-target batching, so accumulation order and
+            // results are bitwise identical.
+            let mut tasks = Vec::with_capacity(occ.len() * n_tgt);
+            for j in 0..n_tgt {
+                for &i in &occ {
+                    tasks.push(PairTask { i, j, w_fwd: -d[i], w_rev: 0.0 });
+                }
+            }
+            stats.solves += tasks.len();
+            stats.contributions += tasks.len();
+            be.fused_pair_solve(
+                &self.fft.convolve_pass(&self.kernel.kg, be),
+                phi_r,
+                psi_r,
+                ng,
+                &tasks,
+                &mut out,
+            );
+            self.counters.add_fp64(tasks.len());
             return (out, stats);
         }
         let mut arena = be.take_scratch(tile * ng);
@@ -1058,6 +1244,104 @@ mod tests {
         }
         assert!(errs[0] < 1e-4 * scale.max(1.0), "plain fp32 err {}", errs[0]);
         assert!(errs[1] < 1e-4 * scale.max(1.0), "compensated err {}", errs[1]);
+    }
+
+    #[test]
+    fn fused_and_staged_schedulers_agree_bitwise() {
+        // The fused pair-solve pipeline must reproduce the staged tile
+        // scheduler bit-for-bit on both backends and both scheduler
+        // paths: same per-grid round trips, same scatter order.
+        let (grid, fft, wf) = setup(5);
+        let d = vec![1.0, 0.9, 0.5, 0.2, 0.05];
+        let phi_r = wf.to_real_all(&fft);
+        let psi = phi_r.clone();
+        for name in ["reference", "blocked"] {
+            let be = pwnum::backend::by_name(name).unwrap();
+            let fused =
+                FockOperator::with_options(&grid, 0.2, be.clone(), FockOptions::default());
+            let staged = FockOperator::with_options(
+                &grid,
+                0.2,
+                be,
+                FockOptions::default().with_fused(false),
+            );
+            let (vf, sf) = fused.apply_pure_stats(&phi_r, &d);
+            let (vs, ss) = staged.apply_pure_stats(&phi_r, &d);
+            assert_eq!((sf.solves, sf.contributions), (ss.solves, ss.contributions));
+            assert_eq!(pwnum::cvec::max_abs_diff(&vf, &vs), 0.0, "{name} symmetric");
+            let (af, saf) = fused.apply_diag_stats(&phi_r, &d, &psi);
+            let (ag, sag) = staged.apply_diag_stats(&phi_r, &d, &psi);
+            assert!(!saf.symmetric && !sag.symmetric);
+            assert_eq!((saf.solves, saf.contributions), (sag.solves, sag.contributions));
+            assert_eq!(pwnum::cvec::max_abs_diff(&af, &ag), 0.0, "{name} asymmetric");
+        }
+    }
+
+    #[test]
+    fn fused_fp32_is_value_identical_to_staged_fp32() {
+        // The fused fp32 pipeline (demote → fp32 convolve → compensated
+        // promote-scatter) reproduces the staged fp32 tile scheduler
+        // exactly: the fused convolve is value-identical and the
+        // accumulation order unchanged — so it inherits the staged
+        // path's PR-4 accuracy budget verbatim.
+        let (grid, fft, wf) = setup(5);
+        let d = vec![1.0, 0.9, 0.5, 0.2, 0.05];
+        let phi_r = wf.to_real_all(&fft);
+        let be = pwnum::backend::default_backend().clone();
+        let opts = FockOptions::default().with_precision(PrecisionPolicy::mixed());
+        let fused = FockOperator::with_options(&grid, 0.2, be.clone(), opts);
+        let staged = FockOperator::with_options(&grid, 0.2, be, opts.with_fused(false));
+        let (vf, sf) = fused.apply_pure_stats(&phi_r, &d);
+        let (vs, ss) = staged.apply_pure_stats(&phi_r, &d);
+        assert_eq!(sf.solves_fp32, ss.solves_fp32);
+        assert_eq!(sf.solves_fp32, sf.solves);
+        assert_eq!(pwnum::cvec::max_abs_diff(&vf, &vs), 0.0, "fp32 symmetric");
+        let psi = phi_r.clone();
+        let af = fused.apply_diag(&phi_r, &d, &psi);
+        let ag = staged.apply_diag(&phi_r, &d, &psi);
+        assert_eq!(pwnum::cvec::max_abs_diff(&af, &ag), 0.0, "fp32 asymmetric");
+    }
+
+    #[test]
+    fn fused_path_lowers_pool_peak() {
+        // Scratch high-water mark: the staged scheduler stages
+        // `tile_bands` pair grids through a pooled arena, the fused
+        // pipeline holds one pair grid + one convolve scratch — the
+        // pool peak must drop measurably on a fresh pooled backend.
+        let (grid, fft, wf) = setup(8);
+        let d = vec![1.0; 8];
+        let phi_r = wf.to_real_all(&fft);
+        let peak = |fused: bool| {
+            let be = pwnum::backend::by_name("blocked").unwrap();
+            let op = FockOperator::with_options(
+                &grid,
+                0.2,
+                be.clone(),
+                FockOptions::default().with_fused(fused),
+            );
+            op.apply_pure(&phi_r, &d);
+            be.pool_stats().fp64.peak_bytes
+        };
+        let fused = peak(true);
+        let staged = peak(false);
+        assert!(fused > 0 && staged > 0, "pool accounting must see both paths");
+        assert!(
+            fused * 2 < staged,
+            "fused peak {fused} B should be well under staged peak {staged} B"
+        );
+    }
+
+    #[test]
+    fn options_default_resolves_tile_bands_from_tuning() {
+        // The default tile size comes from the pwnum tuning table (safe
+        // fallback 32), and the builders override per knob without
+        // naming the deprecated construction-guard field.
+        let o = FockOptions::default();
+        assert_eq!(o.tile_bands, pwnum::tuning::default_tile_bands());
+        assert!(o.fused);
+        let o2 = o.with_tile_bands(7).with_fused(false).with_occ_cutoff(0.5);
+        assert_eq!((o2.tile_bands, o2.fused, o2.occ_cutoff), (7, false, 0.5));
+        assert_eq!(o2.precision, o.precision);
     }
 
     #[test]

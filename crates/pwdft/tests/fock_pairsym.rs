@@ -7,7 +7,7 @@
 
 use pwdft::fock::{FockOptions, ScreenedKernel};
 use pwdft::{Cell, FockOperator, PwGrid, Wavefunction};
-use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform, GridTransform32};
+use pwnum::backend::{by_name, Backend, BackendHandle, GridTransform, GridTransform32, PairTask};
 use pwnum::cmat::CMat;
 use pwnum::complex::Complex64;
 use pwnum::precision::{CMat32, Complex32};
@@ -17,8 +17,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Wraps a real backend and counts how many grids flow through
-/// `transform_batch` — every screened Poisson solve costs exactly two
-/// (forward + inverse), so `grids / 2` is the solve count.
+/// `transform_batch` (and, for the fused pair-solve pipeline, how many
+/// pair tasks flow through `fused_pair_solve`) — every screened Poisson
+/// solve costs exactly two grids (forward + inverse), so `grids / 2` is
+/// the solve count.
 #[derive(Debug)]
 struct CountingBackend {
     inner: BackendHandle,
@@ -112,6 +114,34 @@ impl Backend for CountingBackend {
     fn transform_batch(&self, pass: &dyn GridTransform, data: &mut [Complex64], count: usize) {
         self.grids.fetch_add(count, Ordering::SeqCst);
         self.inner.transform_batch(pass, data, count);
+    }
+
+    fn fused_pair_solve(
+        &self,
+        solve: &dyn GridTransform,
+        phi: &[Complex64],
+        psi: &[Complex64],
+        ng: usize,
+        tasks: &[PairTask],
+        out: &mut [Complex64],
+    ) {
+        // One fused round trip (forward + inverse) per task.
+        self.grids.fetch_add(2 * tasks.len(), Ordering::SeqCst);
+        self.inner.fused_pair_solve(solve, phi, psi, ng, tasks, out);
+    }
+
+    fn fused_pair_solve32(
+        &self,
+        solve: &dyn GridTransform32,
+        phi: &[Complex32],
+        psi: &[Complex32],
+        ng: usize,
+        tasks: &[PairTask],
+        out: &mut [Complex64],
+        comp: Option<&mut [Complex64]>,
+    ) {
+        self.grids.fetch_add(2 * tasks.len(), Ordering::SeqCst);
+        self.inner.fused_pair_solve32(solve, phi, psi, ng, tasks, out, comp);
     }
 
     fn fused_grid_passes(&self) -> bool {
@@ -318,6 +348,9 @@ fn symmetric_apply_fft_volume_is_halved() {
     let occ = vec![1.0, 0.9, 0.8, 0.7, 0.6, 0.5]; // all occupied
     let wf = Wavefunction::random(&grid, n, 9);
     let phi_r = wf.to_real_all(&fft);
+    let pairs = n * (n + 1) / 2;
+    // The staged tile scheduler, across tile sizes (partial tiles solve
+    // partial batches — no padding volume).
     for tile in [1usize, 3, 32] {
         let counter = CountingBackend::new(by_name("reference").unwrap());
         let be: BackendHandle = counter.clone();
@@ -325,11 +358,10 @@ fn symmetric_apply_fft_volume_is_halved() {
             &grid,
             0.2,
             be,
-            FockOptions { tile_bands: tile, ..Default::default() },
+            FockOptions { tile_bands: tile, ..Default::default() }.with_fused(false),
         );
         counter.reset();
         let (_, stats) = fock.apply_pure_stats(&phi_r, &occ);
-        let pairs = n * (n + 1) / 2;
         assert_eq!(stats.solves, pairs, "tile {tile}");
         assert_eq!(counter.grids(), 2 * pairs, "tile {tile}: FFT grid count");
 
@@ -339,6 +371,14 @@ fn symmetric_apply_fft_volume_is_halved() {
         assert_eq!(stats.solves, n * n);
         assert_eq!(counter.grids(), 2 * n * n, "tile {tile}: asymmetric FFT grid count");
     }
+    // The fused pipeline pays exactly the same FFT volume — one round
+    // trip per surviving pair, tile-free.
+    let counter = CountingBackend::new(by_name("reference").unwrap());
+    let be: BackendHandle = counter.clone();
+    let fock = FockOperator::with_options(&grid, 0.2, be, FockOptions::default());
+    let (_, stats) = fock.apply_pure_stats(&phi_r, &occ);
+    assert_eq!(stats.solves, pairs, "fused");
+    assert_eq!(counter.grids(), 2 * pairs, "fused: FFT grid count");
 }
 
 #[test]

@@ -268,6 +268,143 @@ impl Fft3 {
         let n = self.len();
         par_chunks_mut(data, n, |_, grid| self.transform(grid, inverse));
     }
+
+    /// Scratch elements required by [`Self::convolve_grid_fused`]: one
+    /// grid-sized rotation buffer plus the widest row-vector pass.
+    #[inline]
+    pub fn scratch_len_convolve(&self) -> usize {
+        let max_plane =
+            (self.n0 * self.n1).max(self.n2 * self.n0).max(self.n1 * self.n2);
+        2 * self.len() + crate::plan::MAX_FAST_RADIX * max_plane
+    }
+
+    /// The whole screened-Poisson round trip — forward 3-D FFT, `K(G)`
+    /// multiply, inverse 3-D FFT — over one grid in one fused pass.
+    ///
+    /// Instead of per-line strided passes, each axis is handled by a
+    /// *rotation*: transpose the grid so the axis becomes the row index,
+    /// then run one row-vector FFT ([`Plan::forward_rows_with`]) whose
+    /// butterflies move whole contiguous planes. Three rotations land
+    /// the spectrum back in the original `(i0,i1,i2)` layout, where the
+    /// kernel multiplies elementwise; the mirrored chain brings the
+    /// filtered grid home. Every intermediate lives in `scratch`
+    /// (≥ [`Self::scratch_len_convolve`] elements) — nothing round-trips
+    /// a pool between stages, and the contiguous row-vector butterflies
+    /// are what make this measurably faster than the strided staged
+    /// path (the CPU analog of the paper's fused GPU exchange chain).
+    ///
+    /// Transposes are exact permutations, the row-vector butterflies
+    /// perform lane-for-lane the same arithmetic as the per-line
+    /// recursion, and both directions visit the axes in the staged
+    /// order (2, 1, 0) — so results are *bitwise identical* to the
+    /// staged `forward → scale → inverse` round trip.
+    pub fn convolve_grid_fused(
+        &self,
+        grid: &mut [Complex64],
+        kernel: &[f64],
+        scratch: &mut [Complex64],
+    ) {
+        assert_eq!(grid.len(), self.len(), "FFT3 buffer length mismatch");
+        assert_eq!(kernel.len(), self.len(), "convolve kernel/grid length mismatch");
+        let (n0, n1, n2) = (self.n0, self.n1, self.n2);
+        let scratch = &mut scratch[..self.scratch_len_convolve()];
+        let (buf, rows_scratch) = scratch.split_at_mut(self.len());
+        // Forward: [i0,i1,i2] -> [i2,(i0,i1)] -> [i1,(i2,i0)] -> [i0,(i1,i2)].
+        transpose_into(grid, buf, n0 * n1, n2);
+        self.plan2.forward_rows_with(buf, n0 * n1, rows_scratch);
+        transpose_into(buf, grid, n2 * n0, n1);
+        self.plan1.forward_rows_with(grid, n2 * n0, rows_scratch);
+        transpose_into(grid, buf, n1 * n2, n0);
+        self.plan0.forward_rows_with(buf, n1 * n2, rows_scratch);
+        // K(G) multiply in the original (i0,i1,i2) layout.
+        for (z, &k) in buf.iter_mut().zip(kernel) {
+            *z = z.scale(k);
+        }
+        // Inverse: rotate the same way round (axis order 2, 1, 0 again,
+        // matching the staged inverse — bitwise, not just close).
+        transpose_into(buf, grid, n0 * n1, n2);
+        self.plan2.inverse_rows_with(grid, n0 * n1, rows_scratch);
+        transpose_into(grid, buf, n2 * n0, n1);
+        self.plan1.inverse_rows_with(buf, n2 * n0, rows_scratch);
+        transpose_into(buf, grid, n1 * n2, n0);
+        self.plan0.inverse_rows_with(grid, n1 * n2, rows_scratch);
+    }
+
+    /// The filtered round trip as one [`GridTransform`]: the `solve`
+    /// operator of [`Backend::fused_pair_solve`]. Backends that ask for
+    /// fused grid passes get the rotation-based
+    /// [`Self::convolve_grid_fused`]; others run the per-line staged
+    /// arithmetic inside the single pass — bitwise identical to
+    /// `convolve_many_with` on that backend.
+    #[inline]
+    pub fn convolve_pass<'f>(
+        &'f self,
+        kernel: &'f [f64],
+        backend: &dyn Backend,
+    ) -> ConvolvePass<'f> {
+        assert_eq!(kernel.len(), self.len(), "convolve kernel/grid length mismatch");
+        ConvolvePass { fft: self, kernel, fused: backend.fused_grid_passes() }
+    }
+}
+
+/// Writes the `rows × cols` row-major matrix `a` transposed into `b`
+/// (`cols × rows`). A pure permutation — value-exact — tiled so both
+/// sides stay cache-resident on large grids. Shared by the fp64 and
+/// fp32 fused convolve chains.
+pub(crate) fn transpose_into<T: Copy>(a: &[T], b: &mut [T], rows: usize, cols: usize) {
+    const TILE: usize = 32;
+    debug_assert_eq!(a.len(), rows * cols);
+    debug_assert_eq!(b.len(), rows * cols);
+    for ib in (0..rows).step_by(TILE) {
+        let imax = (ib + TILE).min(rows);
+        for jb in (0..cols).step_by(TILE) {
+            let jmax = (jb + TILE).min(cols);
+            for i in ib..imax {
+                for j in jb..jmax {
+                    b[j * rows + i] = a[i * cols + j];
+                }
+            }
+        }
+    }
+}
+
+/// The screened-Poisson round trip (forward FFT → `K(G)` → inverse FFT)
+/// as a single [`GridTransform`] — what the fused pair-solve pipeline
+/// hands to [`Backend::fused_pair_solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConvolvePass<'f> {
+    fft: &'f Fft3,
+    kernel: &'f [f64],
+    fused: bool,
+}
+
+impl GridTransform for ConvolvePass<'_> {
+    fn grid_len(&self) -> usize {
+        self.fft.len()
+    }
+
+    fn scratch_len(&self) -> usize {
+        if self.fused {
+            self.fft.scratch_len_convolve()
+        } else {
+            self.fft.scratch_len()
+        }
+    }
+
+    fn run(&self, grid: &mut [Complex64], scratch: &mut [Complex64]) {
+        if self.fused {
+            self.fft.convolve_grid_fused(grid, self.kernel, scratch);
+        } else {
+            // Staged arithmetic inside one pass: identical operation
+            // sequence to forward_many → scale_by_real → inverse_many
+            // on a non-fused backend, hence bitwise identical results.
+            self.fft.transform_with(grid, scratch, false);
+            for (z, &k) in grid.iter_mut().zip(self.kernel) {
+                *z = z.scale(k);
+            }
+            self.fft.transform_with(grid, scratch, true);
+        }
+    }
 }
 
 /// One direction of a [`Fft3`] as a batched-transform pass: the bridge
@@ -455,6 +592,60 @@ mod tests {
             fft.convolve_many_with(&*be, &mut conj_in, 1, &kernel);
             for (a, b) in conj_in.iter().zip(&got[..n]) {
                 assert!((*a - b.conj()).abs() < 1e-9, "{}: W_ji != conj(W_ij)", be.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_convolve_matches_staged_roundtrip_bitwise() {
+        // The rotation-based fused convolve must match the staged
+        // forward → K(G) → inverse chain bitwise: transposes are exact,
+        // row-vector butterflies are lane-exact, and both directions
+        // visit the axes in the same (2, 1, 0) order.
+        for dims in [(12usize, 12usize, 12usize), (6, 6, 6), (4, 6, 10), (8, 9, 5)] {
+            let fft = Fft3::new(dims.0, dims.1, dims.2);
+            let n = fft.len();
+            let kernel: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            let base = signal(n, 0.7);
+            let mut staged = base.clone();
+            fft.forward(&mut staged);
+            for (z, &k) in staged.iter_mut().zip(&kernel) {
+                *z = z.scale(k);
+            }
+            fft.inverse(&mut staged);
+            let mut fused = base.clone();
+            let mut scratch = vec![Complex64::ZERO; fft.scratch_len_convolve()];
+            fft.convolve_grid_fused(&mut fused, &kernel, &mut scratch);
+            for (a, b) in fused.iter().zip(&staged) {
+                assert_eq!(*a, *b, "fused convolve not bitwise on {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn convolve_pass_is_bitwise_with_staged_per_backend() {
+        // Through the GridTransform seam: on each backend, running the
+        // ConvolvePass built *for that backend* must reproduce that
+        // backend's convolve_many_with bitwise — the property the fused
+        // pair-solve scheduler relies on.
+        let fft = Fft3::new(12, 12, 12);
+        let n = fft.len();
+        let kernel: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let base = signal(n * 2, 0.3);
+        for be in [
+            pwnum::backend::by_name("reference").unwrap(),
+            pwnum::backend::by_name("blocked").unwrap(),
+        ] {
+            let mut staged = base.clone();
+            fft.convolve_many_with(&*be, &mut staged, 2, &kernel);
+            let pass = fft.convolve_pass(&kernel, &*be);
+            let mut fused = base.clone();
+            let mut scratch = vec![Complex64::ZERO; pass.scratch_len()];
+            for grid in fused.chunks_mut(n) {
+                pass.run(grid, &mut scratch);
+            }
+            for (a, b) in fused.iter().zip(&staged) {
+                assert_eq!(*a, *b, "{}: ConvolvePass != staged convolve", be.name());
             }
         }
     }

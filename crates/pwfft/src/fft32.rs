@@ -8,6 +8,7 @@
 //! [`Backend::transform_batch32`], so the backend owns slab
 //! decomposition and fp32 scratch pooling exactly as it does for fp64.
 
+use crate::fft3::transpose_into;
 use crate::plan32::Plan32;
 use pwnum::backend::{Backend, GridTransform32};
 use pwnum::precision::Complex32;
@@ -220,6 +221,65 @@ impl Fft32 {
         backend.scale_by_real32(kernel, data);
         self.inverse_many_with(backend, data, count);
     }
+
+    /// Scratch elements required by [`Self::convolve_grid_fused`].
+    #[inline]
+    pub fn scratch_len_convolve(&self) -> usize {
+        let max_plane =
+            (self.n0 * self.n1).max(self.n2 * self.n0).max(self.n1 * self.n2);
+        2 * self.len() + crate::plan::MAX_FAST_RADIX * max_plane
+    }
+
+    /// fp32 twin of [`crate::fft3::Fft3::convolve_grid_fused`]: the whole
+    /// screened-Poisson round trip over one fp32 grid as three
+    /// transpose-rotated row-vector FFT passes per direction, with the
+    /// `K(G)` multiply in between — all inside `scratch`, nothing
+    /// returned to a pool mid-chain. Exact permutations plus lane-exact
+    /// row butterflies in the per-line axis order keep this value-
+    /// identical to the staged fp32 round trip.
+    pub fn convolve_grid_fused(
+        &self,
+        grid: &mut [Complex32],
+        kernel: &[f32],
+        scratch: &mut [Complex32],
+    ) {
+        assert_eq!(grid.len(), self.len(), "FFT32 buffer length mismatch");
+        assert_eq!(kernel.len(), self.len(), "convolve kernel/grid length mismatch");
+        let (n0, n1, n2) = (self.n0, self.n1, self.n2);
+        let scratch = &mut scratch[..self.scratch_len_convolve()];
+        let (buf, rows_scratch) = scratch.split_at_mut(self.len());
+        // Forward: [i0,i1,i2] -> [i2,(i0,i1)] -> [i1,(i2,i0)] -> [i0,(i1,i2)].
+        transpose_into(grid, buf, n0 * n1, n2);
+        self.plan2.forward_rows_with(buf, n0 * n1, rows_scratch);
+        transpose_into(buf, grid, n2 * n0, n1);
+        self.plan1.forward_rows_with(grid, n2 * n0, rows_scratch);
+        transpose_into(grid, buf, n1 * n2, n0);
+        self.plan0.forward_rows_with(buf, n1 * n2, rows_scratch);
+        for (z, &k) in buf.iter_mut().zip(kernel) {
+            *z = z.scale(k);
+        }
+        // Inverse: same rotation direction (axis order 2, 1, 0 again).
+        transpose_into(buf, grid, n0 * n1, n2);
+        self.plan2.inverse_rows_with(grid, n0 * n1, rows_scratch);
+        transpose_into(grid, buf, n2 * n0, n1);
+        self.plan1.inverse_rows_with(buf, n2 * n0, rows_scratch);
+        transpose_into(buf, grid, n1 * n2, n0);
+        self.plan0.inverse_rows_with(grid, n1 * n2, rows_scratch);
+    }
+
+    /// The fp32 filtered round trip as one [`GridTransform32`] — the
+    /// `solve` operator of [`Backend::fused_pair_solve32`]. Fused-pass
+    /// backends get the rotation-based chain; others run the staged
+    /// per-line arithmetic inside the single pass.
+    #[inline]
+    pub fn convolve_pass<'f>(
+        &'f self,
+        kernel: &'f [f32],
+        backend: &dyn Backend,
+    ) -> ConvolvePass32<'f> {
+        assert_eq!(kernel.len(), self.len(), "convolve kernel/grid length mismatch");
+        ConvolvePass32 { fft: self, kernel, fused: backend.fused_grid_passes() }
+    }
 }
 
 /// One direction of an [`Fft32`] as a batched fp32 transform pass — the
@@ -249,6 +309,42 @@ impl GridTransform32 for FftPass32<'_> {
             self.fft.transform_fused(grid, scratch, self.inverse);
         } else {
             self.fft.transform_with(grid, scratch, self.inverse);
+        }
+    }
+}
+
+/// The fp32 screened-Poisson round trip as a single [`GridTransform32`]
+/// — what the fused fp32 pair-solve pipeline hands to
+/// [`Backend::fused_pair_solve32`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConvolvePass32<'f> {
+    fft: &'f Fft32,
+    kernel: &'f [f32],
+    fused: bool,
+}
+
+impl GridTransform32 for ConvolvePass32<'_> {
+    fn grid_len(&self) -> usize {
+        self.fft.len()
+    }
+
+    fn scratch_len(&self) -> usize {
+        if self.fused {
+            self.fft.scratch_len_convolve()
+        } else {
+            self.fft.scratch_len()
+        }
+    }
+
+    fn run(&self, grid: &mut [Complex32], scratch: &mut [Complex32]) {
+        if self.fused {
+            self.fft.convolve_grid_fused(grid, self.kernel, scratch);
+        } else {
+            self.fft.transform_with(grid, scratch, false);
+            for (z, &k) in grid.iter_mut().zip(self.kernel) {
+                *z = z.scale(k);
+            }
+            self.fft.transform_with(grid, scratch, true);
         }
     }
 }
@@ -331,6 +427,41 @@ mod tests {
             match &refr {
                 None => refr = Some(got),
                 Some(r) => assert_eq!(max_abs_diff32(r, &got), 0.0, "backend mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn fused_convolve32_is_value_identical_to_staged() {
+        // The fp32 fused convolve must equal the staged fp32 round trip
+        // exactly (fp32 primitives never differ across paths), through
+        // the ConvolvePass32 seam on both backends.
+        for dims in [(6usize, 6usize, 6usize), (4, 6, 10)] {
+            let fft = Fft32::new(dims.0, dims.1, dims.2);
+            let n = fft.len();
+            let kernel: Vec<f32> =
+                (0..n).map(|i| 1.0f32 / (1.0 + (i % 7) as f32)).collect();
+            let base = demote(&signal64(n * 2, 0.9));
+            for be in [
+                pwnum::backend::by_name("reference").unwrap(),
+                pwnum::backend::by_name("blocked").unwrap(),
+            ] {
+                let mut staged = base.clone();
+                fft.convolve_many_with(&*be, &mut staged, 2, &kernel);
+                let pass = fft.convolve_pass(&kernel, &*be);
+                use pwnum::backend::GridTransform32 as _;
+                let mut fused = base.clone();
+                let mut scratch =
+                    vec![pwnum::precision::Complex32::ZERO; pass.scratch_len()];
+                for grid in fused.chunks_mut(n) {
+                    pass.run(grid, &mut scratch);
+                }
+                assert_eq!(
+                    max_abs_diff32(&fused, &staged),
+                    0.0,
+                    "{}: fp32 ConvolvePass != staged on {dims:?}",
+                    be.name()
+                );
             }
         }
     }

@@ -35,7 +35,7 @@ pub mod plan;
 pub mod plan32;
 
 pub use dist::DistFft3;
-pub use fft3::{Fft3, FftPass};
-pub use fft32::{Fft32, FftPass32};
+pub use fft3::{ConvolvePass, Fft3, FftPass};
+pub use fft32::{ConvolvePass32, Fft32, FftPass32};
 pub use plan::Plan;
 pub use plan32::Plan32;

@@ -39,7 +39,9 @@ use crate::cvec;
 use crate::gemm::{self, packed, packed_cols, Op};
 use crate::parallel::{num_threads, par_chunks_mut, par_ranges};
 use crate::precision::{self, CMat32, Complex32};
+use crate::tuning::TunedShapes;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// One grid-sized pass of a batched transform (e.g. a forward or inverse
@@ -68,6 +70,48 @@ pub trait GridTransform32: Sync {
     /// Transforms one grid in place. `scratch` has at least
     /// [`GridTransform32::scratch_len`] elements and may hold garbage.
     fn run(&self, grid: &mut [Complex32], scratch: &mut [Complex32]);
+}
+
+/// One exchange pair solve of the fused pipeline: solve the pair
+/// density `conj(phi_i) ⊙ psi_j` through the screened-Poisson transform
+/// and scatter the result into up to two output bands.
+///
+/// The weights are the (real) occupation factors of the Fock scatter;
+/// a weight of exactly `0.0` skips that scatter — how the scheduler
+/// encodes occupation screening and the diagonal `i == j` case without
+/// a second task shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairTask {
+    /// Band index into `phi` (and the reverse-scatter target in `out`).
+    pub i: usize,
+    /// Band index into `psi` (and the forward-scatter target in `out`).
+    pub j: usize,
+    /// Forward-scatter weight: `out_j += w_fwd · W_ij ⊙ phi_i`
+    /// (`0.0` = skip).
+    pub w_fwd: f64,
+    /// Reverse-scatter weight: `out_i += w_rev · conj(W_ij) ⊙ psi_j`
+    /// (`0.0` = skip — always for the asymmetric scheduler and the
+    /// diagonal of the symmetric one).
+    pub w_rev: f64,
+}
+
+/// High-water-mark accounting of one buffer pool (per element type).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolTypeStats {
+    /// Bytes currently checked out of the pool.
+    pub outstanding_bytes: usize,
+    /// Peak bytes simultaneously checked out since construction (or the
+    /// last [`Backend::reset_pool_peak`]).
+    pub peak_bytes: usize,
+}
+
+/// Pool accounting for both element types a backend pools.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// The `Complex64` pool.
+    pub fp64: PoolTypeStats,
+    /// The `Complex32` pool.
+    pub fp32: PoolTypeStats,
 }
 
 /// The device abstraction: every performance-critical primitive of the
@@ -152,6 +196,53 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     /// grids map to workers and how scratch is provisioned).
     fn transform_batch(&self, pass: &dyn GridTransform, data: &mut [Complex64], count: usize);
 
+    /// The fused exchange pair-solve pipeline: for each [`PairTask`],
+    /// form the pair density `conj(phi_i) ⊙ psi_j`, run it through
+    /// `solve` (the whole screened-Poisson round trip as one
+    /// [`GridTransform`]), and scatter the solved grid into `out` band
+    /// `j` (weight `w_fwd`, kernel `W_ij`) and band `i` (weight `w_rev`,
+    /// kernel `conj(W_ij)`) — all over two backend-owned scratch grids,
+    /// so no per-pair buffer survives between stages.
+    ///
+    /// `phi`, `psi`, and `out` are band-major with `ng` elements per
+    /// band (`psi` may alias `phi` by being the same slice). Tasks run
+    /// strictly in order, and each scatter uses the same elementwise
+    /// kernels as the staged scheduler — so for a `solve` that matches
+    /// the staged transform value-for-value, the fused path is bitwise
+    /// identical to the staged one on every backend.
+    fn fused_pair_solve(
+        &self,
+        solve: &dyn GridTransform,
+        phi: &[Complex64],
+        psi: &[Complex64],
+        ng: usize,
+        tasks: &[PairTask],
+        out: &mut [Complex64],
+    ) {
+        assert_eq!(solve.grid_len(), ng, "fused_pair_solve: solve grid length mismatch");
+        assert!(phi.len().is_multiple_of(ng.max(1)), "fused_pair_solve: bad phi length");
+        assert!(psi.len().is_multiple_of(ng.max(1)), "fused_pair_solve: bad psi length");
+        assert!(out.len().is_multiple_of(ng.max(1)), "fused_pair_solve: bad out length");
+        let mut pair = self.take_scratch(ng);
+        let mut scratch = self.take_scratch(solve.scratch_len());
+        for t in tasks {
+            let phi_i = &phi[t.i * ng..(t.i + 1) * ng];
+            let psi_j = &psi[t.j * ng..(t.j + 1) * ng];
+            self.hadamard_conj(phi_i, psi_j, &mut pair);
+            solve.run(&mut pair, &mut scratch);
+            if t.w_fwd != 0.0 {
+                let out_j = &mut out[t.j * ng..(t.j + 1) * ng];
+                self.hadamard_acc(Complex64::from_re(t.w_fwd), &pair, phi_i, out_j);
+            }
+            if t.w_rev != 0.0 {
+                let out_i = &mut out[t.i * ng..(t.i + 1) * ng];
+                self.hadamard_acc_conj(Complex64::from_re(t.w_rev), &pair, psi_j, out_i);
+            }
+        }
+        self.recycle_buffer(scratch);
+        self.recycle_buffer(pair);
+    }
+
     /// Whether this backend wants *fused* (cache-tiled) strided grid
     /// passes when a transform offers both styles. Accelerator-style
     /// backends return `true`: the tiled variant moves several strided
@@ -181,6 +272,17 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     /// Returns a buffer obtained from [`Backend::take_buffer`] to the
     /// backend for reuse.
     fn recycle_buffer(&self, buf: Vec<Complex64>);
+
+    /// High-water-mark accounting of the backend's buffer pools (zeros
+    /// for backends that don't pool). Tests use this to *assert* the
+    /// fused path's scratch reduction rather than claim it.
+    fn pool_stats(&self) -> PoolStats {
+        PoolStats::default()
+    }
+
+    /// Resets the peak-bytes high-water marks to the current outstanding
+    /// level (no-op for backends that don't pool).
+    fn reset_pool_peak(&self) {}
 
     // -----------------------------------------------------------------
     // fp32 / mixed-precision primitives (see [`crate::precision`]).
@@ -243,6 +345,54 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
     /// Runs `pass` over `count` consecutive fp32 grids in `data` — the
     /// batched fp32 3-D FFT entry point.
     fn transform_batch32(&self, pass: &dyn GridTransform32, data: &mut [Complex32], count: usize);
+
+    /// Mixed-precision twin of [`Backend::fused_pair_solve`]: the pair
+    /// density is formed and solved in fp32 (operands already demoted by
+    /// the caller), and both scatters promote to the fp64 accumulator —
+    /// optionally two-sum compensated through `comp` (band-major,
+    /// parallel to `out`). No intermediate `CVec32` buffer hits the pool
+    /// between demote, FFT, kernel multiply, inverse FFT, and
+    /// promote-scatter: one pooled fp32 pair grid and one pooled fp32
+    /// scratch arena serve the whole task list.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_pair_solve32(
+        &self,
+        solve: &dyn GridTransform32,
+        phi: &[Complex32],
+        psi: &[Complex32],
+        ng: usize,
+        tasks: &[PairTask],
+        out: &mut [Complex64],
+        mut comp: Option<&mut [Complex64]>,
+    ) {
+        assert_eq!(solve.grid_len(), ng, "fused_pair_solve32: solve grid length mismatch");
+        assert!(phi.len().is_multiple_of(ng.max(1)), "fused_pair_solve32: bad phi length");
+        assert!(psi.len().is_multiple_of(ng.max(1)), "fused_pair_solve32: bad psi length");
+        assert!(out.len().is_multiple_of(ng.max(1)), "fused_pair_solve32: bad out length");
+        if let Some(c) = comp.as_deref() {
+            assert_eq!(c.len(), out.len(), "fused_pair_solve32: comp/out length mismatch");
+        }
+        let mut pair = self.take_scratch32(ng);
+        let mut scratch = self.take_scratch32(solve.scratch_len());
+        for t in tasks {
+            let phi_i = &phi[t.i * ng..(t.i + 1) * ng];
+            let psi_j = &psi[t.j * ng..(t.j + 1) * ng];
+            self.hadamard_conj32(phi_i, psi_j, &mut pair);
+            solve.run(&mut pair, &mut scratch);
+            if t.w_fwd != 0.0 {
+                let out_j = &mut out[t.j * ng..(t.j + 1) * ng];
+                let comp_j = comp.as_deref_mut().map(|c| &mut c[t.j * ng..(t.j + 1) * ng]);
+                self.hadamard_acc_promote(t.w_fwd, &pair, phi_i, out_j, comp_j);
+            }
+            if t.w_rev != 0.0 {
+                let out_i = &mut out[t.i * ng..(t.i + 1) * ng];
+                let comp_i = comp.as_deref_mut().map(|c| &mut c[t.i * ng..(t.i + 1) * ng]);
+                self.hadamard_acc_promote_conj(t.w_rev, &pair, psi_j, out_i, comp_i);
+            }
+        }
+        self.recycle_buffer32(scratch);
+        self.recycle_buffer32(pair);
+    }
 
     /// Hands out an fp32 buffer of `len` elements with *unspecified
     /// contents* — the fp32 twin of [`Backend::take_scratch`].
@@ -516,11 +666,20 @@ impl Backend for Reference {
 #[derive(Debug)]
 struct BufferPool<T> {
     slots: Mutex<Vec<Vec<T>>>,
+    /// Bytes currently checked out (taken but not yet `put` back).
+    outstanding_bytes: AtomicUsize,
+    /// Peak of `outstanding_bytes` since construction / last reset —
+    /// the high-water mark the fused-path scratch tests assert on.
+    peak_bytes: AtomicUsize,
 }
 
 impl<T> Default for BufferPool<T> {
     fn default() -> Self {
-        BufferPool { slots: Mutex::new(Vec::new()) }
+        BufferPool {
+            slots: Mutex::new(Vec::new()),
+            outstanding_bytes: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+        }
     }
 }
 
@@ -544,6 +703,7 @@ impl<T: Copy + Default> BufferPool<T> {
     /// before being read, avoiding the O(len) zero fill per checkout.
     fn take_garbage(&self, len: usize) -> Vec<T> {
         let mut buf = self.lookup(len).unwrap_or_else(|| Vec::with_capacity(len));
+        self.note_checkout(&buf);
         if buf.len() < len {
             // resize only writes the tail beyond the current length.
             buf.resize(len, T::default());
@@ -557,8 +717,32 @@ impl<T: Copy + Default> BufferPool<T> {
     /// capacity (no fill — for callers that overwrite every element).
     fn take_empty(&self, len: usize) -> Vec<T> {
         let mut buf = self.lookup(len).unwrap_or_else(|| Vec::with_capacity(len));
+        self.note_checkout(&buf);
         buf.clear();
         buf
+    }
+
+    /// Charges a freshly checked-out buffer against the outstanding and
+    /// peak counters.
+    fn note_checkout(&self, buf: &Vec<T>) {
+        let bytes = buf.capacity() * std::mem::size_of::<T>();
+        let now = self.outstanding_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Current accounting snapshot (outstanding is approximate only in
+    /// the sense that `put` of a buffer the pool never handed out — a
+    /// caller-grown one — saturates at zero instead of underflowing).
+    fn stats(&self) -> PoolTypeStats {
+        PoolTypeStats {
+            outstanding_bytes: self.outstanding_bytes.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the high-water mark to the current outstanding level.
+    fn reset_peak(&self) {
+        self.peak_bytes.store(self.outstanding_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Best-fit pool lookup, bounded to ≤ 2×`len` capacity so a tiny
@@ -578,6 +762,13 @@ impl<T: Copy + Default> BufferPool<T> {
         if buf.capacity() == 0 {
             return;
         }
+        // The buffer is no longer outstanding whether or not the caps
+        // let us retain it. Saturating: a caller may return a buffer
+        // that grew (or was allocated) outside the pool.
+        let bytes = buf.capacity() * std::mem::size_of::<T>();
+        let _ = self
+            .outstanding_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(bytes)));
         let mut slots = self.slots.lock();
         let pooled_bytes: usize =
             slots.iter().map(|b| b.capacity() * std::mem::size_of::<T>()).sum();
@@ -594,27 +785,57 @@ impl<T: Copy + Default> BufferPool<T> {
 }
 
 /// Cache-blocked, accelerator-style backend (the paper's GPU strategy
-/// transplanted to CPU threads): 4-wide register blocking in GEMM and the
-/// band kernels, slab-decomposed batched transforms with one scratch
-/// arena per worker, and pooled buffers for allocation-free hot loops.
-#[derive(Debug, Default)]
+/// transplanted to CPU threads): register blocking in GEMM and the
+/// band kernels (width autotunable, default 4), slab-decomposed batched
+/// transforms with one scratch arena per worker, and pooled buffers for
+/// allocation-free hot loops.
+#[derive(Debug)]
 pub struct Blocked {
     pool: BufferPool<Complex64>,
     pool32: BufferPool<Complex32>,
+    shapes: TunedShapes,
 }
 
-/// Column-block width of the register micro-kernel: each packed `A` row
-/// segment is read once per `NB` output columns.
+impl Default for Blocked {
+    fn default() -> Self {
+        Blocked::new()
+    }
+}
+
+/// Default column-block width of the register micro-kernel: each packed
+/// `A` row segment is read once per `NB` output columns. The autotuner
+/// may widen/narrow this per backend (see [`TunedShapes::gemm_block`]);
+/// widths only regroup output columns — each element's per-`l`
+/// accumulation order is fixed — so every width is value-identical.
 const NB: usize = 4;
+
+/// Largest register-block width the micro-kernels dispatch on.
+const MAX_NB: usize = 8;
 
 /// Grid-point threshold below which a batched transform runs inline
 /// (spawn overhead would dominate tiny batches).
 const MIN_BATCH_PARALLEL: usize = 1 << 14;
 
 impl Blocked {
-    /// Creates the backend with an empty buffer pool.
+    /// Creates the backend with an empty buffer pool and the shapes the
+    /// process-wide tuning table holds for `"blocked"` (the built-in
+    /// constants when no table is loaded).
     pub fn new() -> Self {
-        Blocked::default()
+        Blocked::with_shapes(crate::tuning::backend_defaults("blocked"))
+    }
+
+    /// Creates the backend with explicit tuned shapes (the autotuner's
+    /// measurement constructor). Out-of-range widths are clamped to the
+    /// dispatchable `1..=MAX_NB` range.
+    pub fn with_shapes(shapes: TunedShapes) -> Self {
+        let shapes =
+            TunedShapes { gemm_block: shapes.gemm_block.clamp(1, MAX_NB), ..shapes };
+        Blocked { pool: BufferPool::default(), pool32: BufferPool::default(), shapes }
+    }
+
+    /// The shapes this backend instance runs with.
+    pub fn shapes(&self) -> TunedShapes {
+        self.shapes
     }
 
     /// Number of buffers currently pooled (test/diagnostic hook).
@@ -624,11 +845,35 @@ impl Blocked {
     }
 }
 
-/// Accumulates `acc[j] += Σ_l a[l] * rows[j][l]` for up to [`NB`] packed
-/// rows sharing one pass over `a` — the register micro-kernel.
+/// Accumulates `acc[j] += Σ_l a[l] * rows[j][l]` for up to [`MAX_NB`]
+/// packed rows sharing one pass over `a` — the register micro-kernel.
+/// Widths 2/4/8 get dedicated register-resident arms (the autotuner's
+/// `gemm_block` candidates); every arm runs each element's per-`l` sum
+/// in the same order, so all widths produce identical values.
 #[inline]
 fn dot_block(a: &[Complex64], rows: &[&[Complex64]], acc: &mut [Complex64]) {
     match rows.len() {
+        2 => {
+            let (r0, r1) = (rows[0], rows[1]);
+            let (mut s0, mut s1) = (Complex64::ZERO, Complex64::ZERO);
+            for (l, &av) in a.iter().enumerate() {
+                s0 = av.mul_add(r0[l], s0);
+                s1 = av.mul_add(r1[l], s1);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+        }
+        8 => {
+            let mut s = [Complex64::ZERO; 8];
+            for (l, &av) in a.iter().enumerate() {
+                for (t, rj) in rows.iter().enumerate() {
+                    s[t] = av.mul_add(rj[l], s[t]);
+                }
+            }
+            for (t, sv) in s.iter().enumerate() {
+                acc[t] += *sv;
+            }
+        }
         4 => {
             let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
             let (mut s0, mut s1, mut s2, mut s3) =
@@ -660,6 +905,29 @@ fn dot_block(a: &[Complex64], rows: &[&[Complex64]], acc: &mut [Complex64]) {
 #[inline]
 fn dotc_block(a: &[Complex64], rows: &[&[Complex64]], acc: &mut [Complex64]) {
     match rows.len() {
+        2 => {
+            let (r0, r1) = (rows[0], rows[1]);
+            let (mut s0, mut s1) = (Complex64::ZERO, Complex64::ZERO);
+            for (l, av) in a.iter().enumerate() {
+                let ac = av.conj();
+                s0 = ac.mul_add(r0[l], s0);
+                s1 = ac.mul_add(r1[l], s1);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+        }
+        8 => {
+            let mut s = [Complex64::ZERO; 8];
+            for (l, av) in a.iter().enumerate() {
+                let ac = av.conj();
+                for (t, rj) in rows.iter().enumerate() {
+                    s[t] = ac.mul_add(rj[l], s[t]);
+                }
+            }
+            for (t, sv) in s.iter().enumerate() {
+                acc[t] += *sv;
+            }
+        }
         4 => {
             let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
             let (mut s0, mut s1, mut s2, mut s3) =
@@ -726,6 +994,27 @@ fn packed32_cols(b: &CMat32, op: Op) -> std::borrow::Cow<'_, CMat32> {
 #[inline]
 fn dot_block32(a: &[Complex32], rows: &[&[Complex32]], acc: &mut [Complex32]) {
     match rows.len() {
+        2 => {
+            let (r0, r1) = (rows[0], rows[1]);
+            let (mut s0, mut s1) = (Complex32::ZERO, Complex32::ZERO);
+            for (l, &av) in a.iter().enumerate() {
+                s0 = av.mul_add(r0[l], s0);
+                s1 = av.mul_add(r1[l], s1);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+        }
+        8 => {
+            let mut s = [Complex32::ZERO; 8];
+            for (l, &av) in a.iter().enumerate() {
+                for (t, rj) in rows.iter().enumerate() {
+                    s[t] = av.mul_add(rj[l], s[t]);
+                }
+            }
+            for (t, sv) in s.iter().enumerate() {
+                acc[t] += *sv;
+            }
+        }
         4 => {
             let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
             let (mut s0, mut s1, mut s2, mut s3) =
@@ -757,6 +1046,29 @@ fn dot_block32(a: &[Complex32], rows: &[&[Complex32]], acc: &mut [Complex32]) {
 #[inline]
 fn dotc_block32(a: &[Complex32], rows: &[&[Complex32]], acc: &mut [Complex32]) {
     match rows.len() {
+        2 => {
+            let (r0, r1) = (rows[0], rows[1]);
+            let (mut s0, mut s1) = (Complex32::ZERO, Complex32::ZERO);
+            for (l, av) in a.iter().enumerate() {
+                let ac = av.conj();
+                s0 = ac.mul_add(r0[l], s0);
+                s1 = ac.mul_add(r1[l], s1);
+            }
+            acc[0] += s0;
+            acc[1] += s1;
+        }
+        8 => {
+            let mut s = [Complex32::ZERO; 8];
+            for (l, av) in a.iter().enumerate() {
+                let ac = av.conj();
+                for (t, rj) in rows.iter().enumerate() {
+                    s[t] = ac.mul_add(rj[l], s[t]);
+                }
+            }
+            for (t, sv) in s.iter().enumerate() {
+                acc[t] += *sv;
+            }
+        }
         4 => {
             let (r0, r1, r2, r3) = (rows[0], rows[1], rows[2], rows[3]);
             let (mut s0, mut s1, mut s2, mut s3) =
@@ -822,14 +1134,15 @@ impl Backend for Blocked {
                 c.as_mut_slice().chunks_mut(n.max(1)).map(Mutex::new).collect();
             let ap = &*ap;
             let bp = &*bp;
+            let nb = self.shapes.gemm_block;
             par_ranges(m, |lo, hi| {
-                let mut blk: [&[Complex64]; NB] = [&[]; NB];
+                let mut blk: [&[Complex64]; MAX_NB] = [&[]; MAX_NB];
                 for (i, crow_m) in rows.iter().enumerate().take(hi).skip(lo) {
                     let arow = ap.row(i);
                     let mut crow = crow_m.lock();
                     let mut jb = 0;
                     while jb < n {
-                        let jn = (jb + NB).min(n);
+                        let jn = (jb + nb).min(n);
                         for (s, j) in (jb..jn).enumerate() {
                             blk[s] = bp.row(j);
                         }
@@ -856,14 +1169,15 @@ impl Backend for Blocked {
         {
             let rows: Vec<Mutex<&mut [Complex64]>> =
                 s.as_mut_slice().chunks_mut(nb.max(1)).map(Mutex::new).collect();
+            let width = self.shapes.gemm_block;
             par_ranges(na, |lo, hi| {
-                let mut blk: [&[Complex64]; NB] = [&[]; NB];
+                let mut blk: [&[Complex64]; MAX_NB] = [&[]; MAX_NB];
                 for (i, row_m) in rows.iter().enumerate().take(hi).skip(lo) {
                     let ai = bands::band(a, band_len, i);
                     let mut row = row_m.lock();
                     let mut jb = 0;
                     while jb < nb {
-                        let jn = (jb + NB).min(nb);
+                        let jn = (jb + width).min(nb);
                         for (s, j) in (jb..jn).enumerate() {
                             blk[s] = bands::band(b, band_len, j);
                         }
@@ -1020,8 +1334,15 @@ impl Backend for Blocked {
         }
         // Slab decomposition: each worker claims one contiguous run of
         // grids and reuses a single pooled arena across all of them —
-        // the "multi-batch" strategy of the paper's cuFFT path.
-        let per_worker = count.div_ceil(workers);
+        // the "multi-batch" strategy of the paper's cuFFT path. The
+        // tuned `fft_slab` caps grids per slab (finer slabs balance
+        // load at the cost of more scratch checkouts), bounded below so
+        // the spawn count stays O(workers); 0 = one slab per worker.
+        let mut per_worker = count.div_ceil(workers);
+        if self.shapes.fft_slab > 0 {
+            per_worker =
+                per_worker.min(self.shapes.fft_slab).max(count.div_ceil(workers * 4)).max(1);
+        }
         std::thread::scope(|s| {
             for slab in data.chunks_mut(per_worker * n) {
                 s.spawn(|| {
@@ -1057,6 +1378,15 @@ impl Backend for Blocked {
         self.pool.put(buf);
     }
 
+    fn pool_stats(&self) -> PoolStats {
+        PoolStats { fp64: self.pool.stats(), fp32: self.pool32.stats() }
+    }
+
+    fn reset_pool_peak(&self) {
+        self.pool.reset_peak();
+        self.pool32.reset_peak();
+    }
+
     fn gemm32(&self, alpha: Complex32, a: &CMat32, op_a: Op, b: &CMat32, op_b: Op) -> CMat32 {
         let ap = packed32(a, op_a);
         let bp = packed32_cols(b, op_b);
@@ -1064,17 +1394,18 @@ impl Backend for Blocked {
         let n = bp.rows();
         assert_eq!(k, bp.cols(), "gemm32 inner dimension mismatch");
         let mut c = CMat32::zeros(m, n);
-        // 4-wide register blocking over output columns; each element's
-        // sum runs in the same l order as the reference loop, so both
-        // backends produce identical values.
-        let mut blk: [&[Complex32]; NB] = [&[]; NB];
+        // Register blocking over output columns (tuned width); each
+        // element's sum runs in the same l order as the reference loop,
+        // so both backends produce identical values.
+        let nb = self.shapes.gemm_block;
+        let mut blk: [&[Complex32]; MAX_NB] = [&[]; MAX_NB];
         let mut crow = vec![Complex32::ZERO; n];
         for i in 0..m {
             let arow = ap.row(i);
             crow.fill(Complex32::ZERO);
             let mut jb = 0;
             while jb < n {
-                let jn = (jb + NB).min(n);
+                let jn = (jb + nb).min(n);
                 for (s, j) in (jb..jn).enumerate() {
                     blk[s] = bp.row(j);
                 }
@@ -1098,14 +1429,15 @@ impl Backend for Blocked {
         {
             let rows: Vec<Mutex<&mut [Complex32]>> =
                 s.as_mut_slice().chunks_mut(nb.max(1)).map(Mutex::new).collect();
+            let width = self.shapes.gemm_block;
             par_ranges(na, |lo, hi| {
-                let mut blk: [&[Complex32]; NB] = [&[]; NB];
+                let mut blk: [&[Complex32]; MAX_NB] = [&[]; MAX_NB];
                 for (i, row_m) in rows.iter().enumerate().take(hi).skip(lo) {
                     let ai = &a[i * band_len..(i + 1) * band_len];
                     let mut row = row_m.lock();
                     let mut jb = 0;
                     while jb < nb {
-                        let jn = (jb + NB).min(nb);
+                        let jn = (jb + width).min(nb);
                         for (t, j) in (jb..jn).enumerate() {
                             blk[t] = &b[j * band_len..(j + 1) * band_len];
                         }
@@ -1232,9 +1564,13 @@ impl Backend for Blocked {
             return;
         }
         // Slab decomposition with one pooled fp32 arena per worker —
-        // the same multi-batch strategy as the fp64 path at half the
-        // memory traffic.
-        let per_worker = count.div_ceil(workers);
+        // the same multi-batch strategy (and tuned slab cap) as the
+        // fp64 path at half the memory traffic.
+        let mut per_worker = count.div_ceil(workers);
+        if self.shapes.fft_slab > 0 {
+            per_worker =
+                per_worker.min(self.shapes.fft_slab).max(count.div_ceil(workers * 4)).max(1);
+        }
         std::thread::scope(|s| {
             for slab in data.chunks_mut(per_worker * n) {
                 s.spawn(|| {
@@ -1401,5 +1737,165 @@ mod tests {
         assert!(by_name("cuda").is_none());
         let d = default_backend();
         assert!(d.name() == "reference" || d.name() == "blocked");
+    }
+
+    #[test]
+    fn every_gemm_block_width_is_value_identical() {
+        // Block widths only regroup output columns — results must be
+        // *exactly* the default-width values, not merely close.
+        let baseline = Blocked::with_shapes(TunedShapes::default());
+        let a = test_mat(7, 13, 0.3);
+        let b = test_mat(13, 11, 1.1);
+        let alpha = c64(0.7, -0.2);
+        let want = baseline.gemm(alpha, &a, Op::None, &b, Op::None, Complex64::ZERO, None);
+        let blk_a = test_block(6, 37, 0.2);
+        let blk_b = test_block(6, 37, 1.4);
+        let want_s = baseline.overlap(&blk_a, &blk_b, 37, 1.7);
+        for width in [1usize, 2, 3, 5, 8] {
+            let bl = Blocked::with_shapes(TunedShapes {
+                gemm_block: width,
+                ..TunedShapes::default()
+            });
+            assert_eq!(bl.shapes().gemm_block, width);
+            let got = bl.gemm(alpha, &a, Op::None, &b, Op::None, Complex64::ZERO, None);
+            assert_eq!(want.max_abs_diff(&got), 0.0, "gemm width {width} changed values");
+            let got_s = bl.overlap(&blk_a, &blk_b, 37, 1.7);
+            assert_eq!(want_s.max_abs_diff(&got_s), 0.0, "overlap width {width} changed values");
+        }
+        // Out-of-range widths clamp instead of panicking.
+        let clamped = Blocked::with_shapes(TunedShapes {
+            gemm_block: 99,
+            ..TunedShapes::default()
+        });
+        assert_eq!(clamped.shapes().gemm_block, MAX_NB);
+    }
+
+    #[test]
+    fn pool_tracks_outstanding_and_peak_bytes() {
+        let bl = Blocked::new();
+        assert_eq!(bl.pool_stats(), PoolStats::default());
+        let sz = std::mem::size_of::<Complex64>();
+        let b1 = bl.take_buffer(100);
+        let b2 = bl.take_scratch(50);
+        let peak_cap = (b1.capacity() + b2.capacity()) * sz;
+        let stats = bl.pool_stats();
+        assert_eq!(stats.fp64.outstanding_bytes, peak_cap);
+        assert_eq!(stats.fp64.peak_bytes, peak_cap);
+        assert_eq!(stats.fp32, PoolTypeStats::default());
+        bl.recycle_buffer(b1);
+        bl.recycle_buffer(b2);
+        let stats = bl.pool_stats();
+        // Everything returned; the high-water mark survives...
+        assert_eq!(stats.fp64.outstanding_bytes, 0);
+        assert_eq!(stats.fp64.peak_bytes, peak_cap);
+        // ...until explicitly reset.
+        bl.reset_pool_peak();
+        assert_eq!(bl.pool_stats().fp64.peak_bytes, 0);
+        // Reference pools nothing and reports zeros.
+        let r = Reference;
+        let b = r.take_buffer(10);
+        assert_eq!(r.pool_stats(), PoolStats::default());
+        r.recycle_buffer(b);
+        r.reset_pool_peak();
+    }
+
+    #[test]
+    fn fused_pair_solve_matches_staged_sequence_bitwise() {
+        // The fused pipeline must reproduce the staged schedule —
+        // pair-density, solve, forward scatter, reverse scatter, in
+        // task order — exactly, on both backends.
+        let ng = 10;
+        let nb = 4;
+        let phi = test_block(nb, ng, 0.8);
+        let pass = ReversePass { n: ng };
+        let tasks = [
+            PairTask { i: 0, j: 0, w_fwd: -1.0, w_rev: 0.0 },
+            PairTask { i: 0, j: 1, w_fwd: -1.0, w_rev: -0.5, },
+            PairTask { i: 1, j: 2, w_fwd: 0.0, w_rev: -0.25 },
+            PairTask { i: 2, j: 3, w_fwd: -0.75, w_rev: -0.125 },
+        ];
+        for be in [&Reference as &dyn Backend, &Blocked::new() as &dyn Backend] {
+            let mut fused = vec![Complex64::ZERO; nb * ng];
+            be.fused_pair_solve(&pass, &phi, &phi, ng, &tasks, &mut fused);
+
+            let mut staged = vec![Complex64::ZERO; nb * ng];
+            let mut pair = vec![Complex64::ZERO; ng];
+            let mut scratch = vec![Complex64::ZERO; pass.scratch_len()];
+            for t in &tasks {
+                let phi_i = &phi[t.i * ng..(t.i + 1) * ng];
+                let phi_j = &phi[t.j * ng..(t.j + 1) * ng];
+                be.hadamard_conj(phi_i, phi_j, &mut pair);
+                pass.run(&mut pair, &mut scratch);
+                if t.w_fwd != 0.0 {
+                    be.hadamard_acc(
+                        Complex64::from_re(t.w_fwd),
+                        &pair,
+                        phi_i,
+                        &mut staged[t.j * ng..(t.j + 1) * ng],
+                    );
+                }
+                if t.w_rev != 0.0 {
+                    be.hadamard_acc_conj(
+                        Complex64::from_re(t.w_rev),
+                        &pair,
+                        phi_j,
+                        &mut staged[t.i * ng..(t.i + 1) * ng],
+                    );
+                }
+            }
+            assert_eq!(
+                cvec::max_abs_diff(&fused, &staged),
+                0.0,
+                "fused != staged on {}",
+                be.name()
+            );
+        }
+    }
+
+    /// fp32 twin of [`ReversePass`] for exercising the fused fp32 path.
+    struct ReversePass32 {
+        n: usize,
+    }
+
+    impl GridTransform32 for ReversePass32 {
+        fn grid_len(&self) -> usize {
+            self.n
+        }
+        fn scratch_len(&self) -> usize {
+            self.n
+        }
+        fn run(&self, grid: &mut [Complex32], scratch: &mut [Complex32]) {
+            scratch[..self.n].copy_from_slice(grid);
+            for (g, s) in grid.iter_mut().zip(scratch[..self.n].iter().rev()) {
+                *g = s.scale(2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pair_solve32_backends_agree_exactly_and_compensate() {
+        let ng = 10;
+        let nb = 3;
+        let phi64 = test_block(nb, ng, 0.4);
+        let phi = precision::demote(&phi64);
+        let phi = phi.as_slice();
+        let pass = ReversePass32 { n: ng };
+        let tasks = [
+            PairTask { i: 0, j: 1, w_fwd: -1.0, w_rev: -0.5 },
+            PairTask { i: 1, j: 2, w_fwd: -0.75, w_rev: 0.0 },
+        ];
+        let mut out_r = vec![Complex64::ZERO; nb * ng];
+        let mut out_b = vec![Complex64::ZERO; nb * ng];
+        Reference.fused_pair_solve32(&pass, &phi, &phi, ng, &tasks, &mut out_r, None);
+        Blocked::new().fused_pair_solve32(&pass, &phi, &phi, ng, &tasks, &mut out_b, None);
+        // fp32 primitives must agree exactly across backends.
+        assert_eq!(cvec::max_abs_diff(&out_r, &out_b), 0.0);
+        assert!(out_r.iter().any(|z| *z != Complex64::ZERO));
+        // The compensated variant runs and stays close to the plain one.
+        let mut out_c = vec![Complex64::ZERO; nb * ng];
+        let mut comp = vec![Complex64::ZERO; nb * ng];
+        Blocked::new()
+            .fused_pair_solve32(&pass, &phi, &phi, ng, &tasks, &mut out_c, Some(&mut comp));
+        assert!(cvec::max_abs_diff(&out_c, &out_b) < 1e-6);
     }
 }

@@ -1,0 +1,565 @@
+//! Backend autotuning: candidate shape search + a persisted tuning table.
+//!
+//! The paper gets its speed by shaping the hybrid-functional hot loop to
+//! the hardware (ARM many-core vs GPU); this module is the CPU analog —
+//! a lightweight autotuner that, per problem configuration
+//! (grid dims, band count, precision, backend), measures candidate
+//! *shapes* — the GEMM register-block width, the FFT slab batch size,
+//! and the Fock scheduler's `tile_bands` — with a plain wall-time
+//! harness and records the winner in a versioned [`TuningTable`].
+//!
+//! Three invariants keep the subsystem safe to adopt everywhere:
+//!
+//! * **Values never change.** Every tunable shape is value-neutral by
+//!   construction: block widths only change how many outputs share one
+//!   sweep (per-element accumulation order is fixed), slab sizes only
+//!   change how grids map to workers, and `tile_bands` only bounds
+//!   scratch. Tuning can therefore never perturb physics.
+//! * **Never slower than the defaults.** The default shapes are always
+//!   part of the candidate list, and [`autotune_with`] picks the
+//!   minimum of one common measurement set — so the selected shapes'
+//!   recorded time is ≤ the defaults' by construction, and the
+//!   `BENCH_fusion.json` gate (`autotuned ≥ 1.0× default`) is
+//!   deterministic.
+//! * **Safe fallback.** A missing, corrupt, or stale-version table file
+//!   falls back to [`TunedShapes::default`] (the pre-autotuner
+//!   constants); nothing in the hot path can fail because a tuning file
+//!   is wrong.
+//!
+//! The table is persisted as hand-rolled JSON (this tree has no serde)
+//! next to the `BENCH_*.json` artifacts; `PWDFT_TUNING_FILE` points the
+//! process-wide [`global_table`] at a file, and backends consult it at
+//! construction.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Format version of the persisted table. Readers reject any other
+/// version (stale tables must re-tune, not mis-parse).
+pub const TABLE_VERSION: u32 = 1;
+
+/// The tunable shapes of one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TunedShapes {
+    /// Register-block width of the GEMM/band micro-kernels (output
+    /// columns sharing one sweep over the packed row). Valid: 1..=8;
+    /// widths only regroup outputs, never reorder a single element's
+    /// accumulation, so results are identical for every width.
+    pub gemm_block: usize,
+    /// Maximum grids per batched-transform slab (one pooled scratch
+    /// arena per slab). `0` = one slab per worker (the pre-autotuner
+    /// behavior).
+    pub fft_slab: usize,
+    /// Pairs per Fock scheduler tile (bounds the staged pair arena; the
+    /// fused pair-solve path streams pairs and ignores it).
+    pub tile_bands: usize,
+}
+
+impl Default for TunedShapes {
+    fn default() -> Self {
+        // The constants the code base shipped with before autotuning.
+        TunedShapes { gemm_block: 4, fft_slab: 0, tile_bands: 32 }
+    }
+}
+
+/// Key identifying one tuned configuration. The wildcard key
+/// (`dims = [0,0,0]`, `bands = 0`) holds backend-wide shapes applied at
+/// backend construction, before problem sizes are known.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TuneKey {
+    /// FFT grid dimensions (`[0,0,0]` = wildcard).
+    pub dims: [usize; 3],
+    /// Band count (`0` = wildcard).
+    pub bands: usize,
+    /// `"fp64"` or `"fp32"`.
+    pub precision: String,
+    /// Backend name (`"reference"` | `"blocked"`).
+    pub backend: String,
+}
+
+impl TuneKey {
+    /// The wildcard key for backend-wide shapes.
+    pub fn wildcard(backend: &str, precision: &str) -> Self {
+        TuneKey {
+            dims: [0, 0, 0],
+            bands: 0,
+            precision: precision.to_string(),
+            backend: backend.to_string(),
+        }
+    }
+}
+
+/// Why a table failed to load — callers treat every variant as "use the
+/// defaults" but tests distinguish them.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// File missing/unreadable.
+    Io(String),
+    /// Text is not a table (malformed JSON / missing fields).
+    Parse(String),
+    /// A well-formed table from an incompatible format version.
+    Version { found: u32, want: u32 },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Io(e) => write!(f, "tuning table io error: {e}"),
+            TableError::Parse(e) => write!(f, "tuning table parse error: {e}"),
+            TableError::Version { found, want } => {
+                write!(f, "tuning table version {found} (want {want})")
+            }
+        }
+    }
+}
+
+/// The versioned shape table: `TuneKey → TunedShapes`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TuningTable {
+    entries: BTreeMap<TuneKey, TunedShapes>,
+}
+
+impl TuningTable {
+    /// An empty table (every lookup falls back to defaults).
+    pub fn new() -> Self {
+        TuningTable::default()
+    }
+
+    /// Number of tuned configurations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no configuration has been tuned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the shapes tuned for `key` (exact match only).
+    pub fn lookup(&self, key: &TuneKey) -> Option<TunedShapes> {
+        self.entries.get(key).copied()
+    }
+
+    /// Shapes for `key`, falling back to the wildcard entry and then to
+    /// the built-in defaults — the resolution the hot paths use.
+    pub fn resolve(&self, key: &TuneKey) -> TunedShapes {
+        self.lookup(key)
+            .or_else(|| self.lookup(&TuneKey::wildcard(&key.backend, &key.precision)))
+            .unwrap_or_default()
+    }
+
+    /// Records (or overwrites) the shapes for `key`.
+    pub fn insert(&mut self, key: TuneKey, shapes: TunedShapes) {
+        self.entries.insert(key, shapes);
+    }
+
+    /// Serializes to the versioned JSON format.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\n  \"version\": {TABLE_VERSION},\n  \"entries\": [\n");
+        for (idx, (k, v)) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"precision\": \"{}\", \
+                 \"dims\": [{}, {}, {}], \"bands\": {}, \"gemm_block\": {}, \
+                 \"fft_slab\": {}, \"tile_bands\": {}}}{}\n",
+                k.backend,
+                k.precision,
+                k.dims[0],
+                k.dims[1],
+                k.dims[2],
+                k.bands,
+                v.gemm_block,
+                v.fft_slab,
+                v.tile_bands,
+                if idx + 1 < self.entries.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the versioned JSON format; rejects other versions.
+    pub fn from_json(text: &str) -> Result<Self, TableError> {
+        let version = field_u64(text, "version")
+            .ok_or_else(|| TableError::Parse("missing \"version\"".into()))?
+            as u32;
+        if version != TABLE_VERSION {
+            return Err(TableError::Version { found: version, want: TABLE_VERSION });
+        }
+        if !text.contains("\"entries\"") {
+            return Err(TableError::Parse("missing \"entries\"".into()));
+        }
+        let mut table = TuningTable::new();
+        // Flat-object scan, like the bench gate's parser: each entry is
+        // one `{...}` with scalar fields plus the dims triple.
+        for obj in text.split('{').skip(1) {
+            if field_u64(obj, "version").is_some() {
+                continue; // header object
+            }
+            let Some(backend) = field_str(obj, "backend") else { continue };
+            let precision = field_str(obj, "precision")
+                .ok_or_else(|| TableError::Parse("entry missing \"precision\"".into()))?;
+            let dims = field_dims(obj)
+                .ok_or_else(|| TableError::Parse("entry missing \"dims\"".into()))?;
+            let bands = field_u64(obj, "bands")
+                .ok_or_else(|| TableError::Parse("entry missing \"bands\"".into()))?;
+            let gemm_block = field_u64(obj, "gemm_block")
+                .ok_or_else(|| TableError::Parse("entry missing \"gemm_block\"".into()))?;
+            let fft_slab = field_u64(obj, "fft_slab")
+                .ok_or_else(|| TableError::Parse("entry missing \"fft_slab\"".into()))?;
+            let tile_bands = field_u64(obj, "tile_bands")
+                .ok_or_else(|| TableError::Parse("entry missing \"tile_bands\"".into()))?;
+            if tile_bands == 0 || gemm_block == 0 || gemm_block > 8 {
+                return Err(TableError::Parse(format!(
+                    "entry has invalid shapes (gemm_block {gemm_block}, tile_bands {tile_bands})"
+                )));
+            }
+            table.insert(
+                TuneKey { dims, bands: bands as usize, precision, backend },
+                TunedShapes {
+                    gemm_block: gemm_block as usize,
+                    fft_slab: fft_slab as usize,
+                    tile_bands: tile_bands as usize,
+                },
+            );
+        }
+        Ok(table)
+    }
+
+    /// Loads a table from `path`, rejecting corrupt or stale files.
+    pub fn load(path: &str) -> Result<Self, TableError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| TableError::Io(e.to_string()))?;
+        Self::from_json(&text)
+    }
+
+    /// Writes the table to `path` (the artifact uploaded by CI).
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Extracts the `u64` after `"key": ` in a flat JSON object slice.
+fn field_u64(obj: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts the string after `"key": "` in a flat JSON object slice.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let at = obj.find(&tag)? + tag.len();
+    let rest = obj[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the `"dims": [a, b, c]` triple.
+fn field_dims(obj: &str) -> Option<[usize; 3]> {
+    let at = obj.find("\"dims\":")? + "\"dims\":".len();
+    let rest = obj[at..].trim_start().strip_prefix('[')?;
+    let inner = &rest[..rest.find(']')?];
+    let mut it = inner.split(',').map(|v| v.trim().parse::<usize>());
+    let (a, b, c) = (it.next()?.ok()?, it.next()?.ok()?, it.next()?.ok()?);
+    Some([a, b, c])
+}
+
+// ---------------------------------------------------------------------
+// The process-wide table
+// ---------------------------------------------------------------------
+
+/// Environment variable naming the tuning-table file the process loads
+/// once at first use (and that [`autotune_with`] persists back to when
+/// the caller asks).
+pub const TUNING_FILE_ENV: &str = "PWDFT_TUNING_FILE";
+
+/// The process-wide tuning table, loaded once from [`TUNING_FILE_ENV`]
+/// (empty — i.e. all-defaults — when the variable is unset or the file
+/// is missing/corrupt/stale).
+pub fn global_table() -> &'static Mutex<TuningTable> {
+    static GLOBAL: OnceLock<Mutex<TuningTable>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let table = std::env::var(TUNING_FILE_ENV)
+            .ok()
+            .and_then(|path| TuningTable::load(&path).ok())
+            .unwrap_or_default();
+        Mutex::new(table)
+    })
+}
+
+/// Backend-wide shapes from the process table (wildcard entry), used at
+/// backend construction before problem sizes are known. Falls back to
+/// [`TunedShapes::default`].
+pub fn backend_defaults(backend: &str) -> TunedShapes {
+    let table = global_table().lock().unwrap();
+    table.resolve(&TuneKey::wildcard(backend, "fp64"))
+}
+
+/// The `tile_bands` the default [`TuneKey`] resolution yields — what
+/// `FockOptions::default()` uses instead of a hard-coded constant.
+pub fn default_tile_bands() -> usize {
+    backend_defaults("blocked").tile_bands
+}
+
+// ---------------------------------------------------------------------
+// The autotune harness
+// ---------------------------------------------------------------------
+
+/// Index of the fastest measurement; ties break to the *earlier*
+/// candidate, so selection is deterministic given the measured times
+/// (and the defaults, listed first, win all ties).
+pub fn select_best(times: &[f64]) -> usize {
+    assert!(!times.is_empty(), "select_best: no candidates");
+    let mut best = 0;
+    for (i, &t) in times.iter().enumerate().skip(1) {
+        if t.is_finite() && t < times[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Median of `reps` wall-clock timings of `run` — the deterministic-
+/// selection measurement primitive (median damps scheduler noise; no
+/// virtual clock is involved, by design: shapes are tuned to the real
+/// machine).
+pub fn median_wall_secs(reps: usize, mut run: impl FnMut()) -> f64 {
+    assert!(reps > 0, "median_wall_secs: reps must be positive");
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// One autotune outcome: the selected shapes plus the full measurement
+/// record (the rows `BENCH_fusion.json` reports).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutotuneReport {
+    /// The winning shapes (recorded in the table under the key).
+    pub shapes: TunedShapes,
+    /// `(candidate, median seconds)` per candidate, in candidate order.
+    /// Empty when the key was already tuned (cache hit).
+    pub measurements: Vec<(TunedShapes, f64)>,
+    /// Median seconds of the default shapes (first candidate).
+    pub default_secs: f64,
+    /// Median seconds of the winning shapes (≤ `default_secs` by
+    /// construction — the winner is the argmin of a set containing the
+    /// defaults).
+    pub tuned_secs: f64,
+    /// True when the shapes came from the table without measuring.
+    pub cached: bool,
+}
+
+/// Tunes `key` in `table`: returns the cached shapes when present,
+/// otherwise measures every candidate with `measure` (candidate →
+/// median seconds), records the argmin, and returns the full report.
+///
+/// The default shapes are always measured (prepended when absent from
+/// `candidates`), so the winner is never slower than the defaults *on
+/// the recorded measurements* — the invariant the CI gate checks.
+pub fn autotune_with(
+    table: &mut TuningTable,
+    key: TuneKey,
+    candidates: &[TunedShapes],
+    mut measure: impl FnMut(&TunedShapes) -> f64,
+) -> AutotuneReport {
+    if let Some(shapes) = table.lookup(&key) {
+        return AutotuneReport {
+            shapes,
+            measurements: Vec::new(),
+            default_secs: 0.0,
+            tuned_secs: 0.0,
+            cached: true,
+        };
+    }
+    let defaults = TunedShapes::default();
+    let mut cands: Vec<TunedShapes> = Vec::with_capacity(candidates.len() + 1);
+    if candidates.first() != Some(&defaults) {
+        cands.push(defaults);
+    }
+    cands.extend_from_slice(candidates);
+    let measurements: Vec<(TunedShapes, f64)> =
+        cands.iter().map(|c| (*c, measure(c))).collect();
+    let times: Vec<f64> = measurements.iter().map(|&(_, t)| t).collect();
+    let best = select_best(&times);
+    let shapes = measurements[best].0;
+    table.insert(key, shapes);
+    AutotuneReport {
+        shapes,
+        default_secs: times[0],
+        tuned_secs: times[best],
+        measurements,
+        cached: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bands: usize) -> TuneKey {
+        TuneKey {
+            dims: [12, 12, 12],
+            bands,
+            precision: "fp64".into(),
+            backend: "blocked".into(),
+        }
+    }
+
+    #[test]
+    fn table_round_trips_through_json() {
+        let mut t = TuningTable::new();
+        t.insert(key(64), TunedShapes { gemm_block: 8, fft_slab: 16, tile_bands: 16 });
+        t.insert(
+            TuneKey::wildcard("blocked", "fp64"),
+            TunedShapes { gemm_block: 2, fft_slab: 0, tile_bands: 64 },
+        );
+        let json = t.to_json();
+        let back = TuningTable::from_json(&json).expect("round trip");
+        assert_eq!(t, back);
+        assert_eq!(
+            back.lookup(&key(64)),
+            Some(TunedShapes { gemm_block: 8, fft_slab: 16, tile_bands: 16 })
+        );
+    }
+
+    #[test]
+    fn corrupt_and_stale_tables_fall_back_cleanly() {
+        // Malformed JSON.
+        assert!(matches!(
+            TuningTable::from_json("not json at all"),
+            Err(TableError::Parse(_))
+        ));
+        // Well-formed but wrong version.
+        let stale = "{\n  \"version\": 99,\n  \"entries\": []\n}\n";
+        assert_eq!(
+            TuningTable::from_json(stale),
+            Err(TableError::Version { found: 99, want: TABLE_VERSION })
+        );
+        // Entry with nonsense shapes.
+        let bad = "{\n  \"version\": 1,\n  \"entries\": [\n    {\"backend\": \"blocked\", \
+                   \"precision\": \"fp64\", \"dims\": [1, 1, 1], \"bands\": 1, \
+                   \"gemm_block\": 0, \"fft_slab\": 0, \"tile_bands\": 0}\n  ]\n}\n";
+        assert!(matches!(TuningTable::from_json(bad), Err(TableError::Parse(_))));
+        // Missing file.
+        assert!(matches!(
+            TuningTable::load("/nonexistent/path/TUNING.json"),
+            Err(TableError::Io(_))
+        ));
+        // The resolution path shrugs all of this off.
+        let empty = TuningTable::new();
+        assert_eq!(empty.resolve(&key(64)), TunedShapes::default());
+    }
+
+    #[test]
+    fn resolve_prefers_exact_over_wildcard_over_default() {
+        let mut t = TuningTable::new();
+        assert_eq!(t.resolve(&key(64)), TunedShapes::default());
+        t.insert(
+            TuneKey::wildcard("blocked", "fp64"),
+            TunedShapes { gemm_block: 2, fft_slab: 4, tile_bands: 8 },
+        );
+        assert_eq!(t.resolve(&key(64)).gemm_block, 2);
+        t.insert(key(64), TunedShapes { gemm_block: 8, fft_slab: 32, tile_bands: 16 });
+        assert_eq!(t.resolve(&key(64)).gemm_block, 8);
+        // Different bands still hit the wildcard.
+        assert_eq!(t.resolve(&key(128)).gemm_block, 2);
+    }
+
+    #[test]
+    fn select_best_is_deterministic_with_tie_break_to_first() {
+        assert_eq!(select_best(&[1.0, 2.0, 0.5]), 2);
+        // Exact tie: the earlier candidate (the defaults) wins.
+        assert_eq!(select_best(&[1.0, 1.0, 1.0]), 0);
+        // NaN/inf never win.
+        assert_eq!(select_best(&[2.0, f64::NAN, f64::INFINITY, 1.0]), 3);
+    }
+
+    #[test]
+    fn autotune_is_deterministic_under_pinned_candidates() {
+        // A pinned candidate list and a deterministic "measurement"
+        // (candidate-dependent, not clock-dependent) must select the
+        // same winner every run, and the winner must never beat the
+        // defaults' recorded time on ties.
+        let cands = [
+            TunedShapes::default(),
+            TunedShapes { gemm_block: 2, ..TunedShapes::default() },
+            TunedShapes { gemm_block: 8, ..TunedShapes::default() },
+        ];
+        let fake = |s: &TunedShapes| match s.gemm_block {
+            8 => 0.5,
+            2 => 2.0,
+            _ => 1.0,
+        };
+        let mut t1 = TuningTable::new();
+        let r1 = autotune_with(&mut t1, key(64), &cands, fake);
+        let mut t2 = TuningTable::new();
+        let r2 = autotune_with(&mut t2, key(64), &cands, fake);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.shapes.gemm_block, 8);
+        assert!(!r1.cached);
+        assert!(r1.tuned_secs <= r1.default_secs);
+        assert_eq!(r1.measurements.len(), 3);
+
+        // Second tune of the same key: cache hit, zero measurements.
+        let mut calls = 0;
+        let r3 = autotune_with(&mut t1, key(64), &cands, |s| {
+            calls += 1;
+            fake(s)
+        });
+        assert!(r3.cached);
+        assert_eq!(calls, 0);
+        assert_eq!(r3.shapes, r1.shapes);
+    }
+
+    #[test]
+    fn autotune_always_measures_defaults_first() {
+        // A candidate list without the defaults still records them, so
+        // the ≥1.0× gate denominator exists.
+        let cands = [TunedShapes { gemm_block: 2, ..TunedShapes::default() }];
+        let mut t = TuningTable::new();
+        let r = autotune_with(&mut t, key(32), &cands, |_| 1.0);
+        assert_eq!(r.measurements.len(), 2);
+        assert_eq!(r.measurements[0].0, TunedShapes::default());
+        // Tie → defaults win.
+        assert_eq!(r.shapes, TunedShapes::default());
+    }
+
+    #[test]
+    fn save_and_load_via_tempfile() {
+        let path = std::env::temp_dir().join("pwnum_tuning_test.json");
+        let path = path.to_str().unwrap().to_string();
+        let mut t = TuningTable::new();
+        t.insert(key(64), TunedShapes { gemm_block: 8, fft_slab: 8, tile_bands: 16 });
+        t.save(&path).unwrap();
+        let back = TuningTable::load(&path).unwrap();
+        assert_eq!(t, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn median_wall_secs_is_positive_and_monotonic_in_work() {
+        // Median-of-5 and a ~100x work gap keep this robust against
+        // scheduler-noise spikes on a loaded single-core box: a spike
+        // would have to hit three of the five quick samples and push
+        // each past the multi-millisecond slow median to flip the
+        // comparison.
+        let quick = median_wall_secs(5, || {
+            std::hint::black_box(0);
+        });
+        let mut acc = 0u64;
+        let slow = median_wall_secs(5, || {
+            for i in 0..2_000_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(quick >= 0.0 && slow > quick);
+    }
+}

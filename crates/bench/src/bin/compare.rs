@@ -29,6 +29,11 @@
 //!   must never be slower than the defaults on any tuned row (≥ 1.0×,
 //!   deterministic by construction: the defaults are always measured
 //!   and the winner is the argmin).
+//! * `BENCH_resilience.json` — checkpointing every 10 steps must cost
+//!   ≤ 5% of step time (one atomic write amortized over the interval),
+//!   and a run restored from a checkpoint must land bitwise on the
+//!   uninterrupted run's final state (`restart_max_diff` ≤ 0,
+//!   deterministic dynamics).
 
 use std::process::ExitCode;
 
@@ -223,6 +228,28 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 ),
             ])
         }
+        "BENCH_resilience.json" => Some(vec![
+            MetricGate {
+                what: "checkpoint overhead fraction of step time at interval 10",
+                select_key: "interval",
+                select_val: 10.0,
+                exclude: None,
+                require: None,
+                metric: "overhead_frac",
+                min: None,
+                max: Some(0.05),
+            },
+            MetricGate {
+                what: "restored vs uninterrupted final state (bitwise)",
+                select_key: "interval",
+                select_val: 10.0,
+                exclude: None,
+                require: None,
+                metric: "restart_max_diff",
+                min: None,
+                max: Some(0.0),
+            },
+        ]),
         _ => None,
     }
 }
@@ -299,6 +326,7 @@ fn main() -> ExitCode {
             format!("{dir}/BENCH_dist_overlap.json"),
             format!("{dir}/BENCH_dist_scale.json"),
             format!("{dir}/BENCH_fusion.json"),
+            format!("{dir}/BENCH_resilience.json"),
         ]
     } else {
         args

@@ -24,6 +24,7 @@
 //! flips the rank's `alive` flag and rings every doorbell, so peers
 //! blocked on a dead rank fail loudly instead of hanging.
 
+use crate::fault::{EdgeFaultKind, FaultPlan};
 use crate::stats::{Category, RankReport, Stats};
 use crate::topology::NetworkModel;
 use std::any::Any;
@@ -35,13 +36,15 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 /// below `1 << 48`.
 pub type Tag = u64;
 
-/// Payload trait: anything sendable with a known wire size.
-pub trait Payload: Send + 'static {
+/// Payload trait: anything sendable with a known wire size. `Clone` is
+/// a supertrait so fault injection can duplicate a message at the send
+/// site; the collectives already demanded it of every payload.
+pub trait Payload: Clone + Send + 'static {
     /// Number of bytes this value occupies on the wire.
     fn byte_len(&self) -> usize;
 }
 
-impl<T: Send + 'static> Payload for Vec<T> {
+impl<T: Clone + Send + 'static> Payload for Vec<T> {
     fn byte_len(&self) -> usize {
         self.len() * std::mem::size_of::<T>()
     }
@@ -99,6 +102,12 @@ struct Inbox {
 struct Fabric {
     inboxes: Vec<Inbox>,
     alive: Vec<AtomicBool>,
+    /// Set (before `alive` clears) for ranks that died *abnormally* —
+    /// an injected [`FaultPlan`] crash or any other panic — as opposed
+    /// to returning from their closure. A finished rank's in-flight
+    /// messages are still deliverable; a crashed rank's future messages
+    /// never will be, which is what [`Comm::require_alive`] guards.
+    crashed: Vec<AtomicBool>,
 }
 
 /// Locks an inbox, tolerating poisoning: a rank that panicked while
@@ -118,6 +127,12 @@ struct AliveGuard {
 
 impl Drop for AliveGuard {
     fn drop(&mut self) {
+        // Crash vs clean finish: a drop during unwinding means the rank
+        // panicked (injected fault or assertion), not returned. Order
+        // matters — peers read `crashed` only after observing `!alive`.
+        if std::thread::panicking() {
+            self.fabric.crashed[self.rank].store(true, Ordering::SeqCst);
+        }
         self.fabric.alive[self.rank].store(false, Ordering::SeqCst);
         for inbox in &self.fabric.inboxes {
             let mut st = lock_state(inbox);
@@ -160,6 +175,15 @@ pub struct Comm {
     pub(crate) net: Arc<NetworkModel>,
     pub(crate) shm: Arc<crate::shm::ShmRegistry>,
     clock: f64,
+    /// The fault script for this run, if any (see [`crate::fault`]).
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-destination user-message counters feeding the deterministic
+    /// fault coin: message k on an edge is the same k on every run,
+    /// independent of host thread scheduling.
+    fault_seq: Vec<u64>,
+    /// Application step announced via [`Comm::begin_step`], carried in
+    /// failure messages so errors name the step they struck.
+    app_step: Option<u64>,
     /// Collected statistics; public for post-run inspection via the report.
     pub stats: Stats,
 }
@@ -247,11 +271,122 @@ impl Comm {
         self.stats.shm_staged_bytes += bytes as u64;
     }
 
+    // ---- fault injection ------------------------------------------------
+
+    /// Marks the start of application step `step`: subsequent failure
+    /// messages carry the step, and a [`FaultPlan`] crash scripted for
+    /// this rank at this step fires here. The crash is a panic that
+    /// unwinds through [`Cluster::run`]; the rank's `AliveGuard` flags it
+    /// dead, so peers fail through the attributed terminated-peer paths
+    /// instead of deadlocking.
+    pub fn begin_step(&mut self, step: u64) {
+        self.app_step = Some(step);
+        if let Some(plan) = &self.faults {
+            if plan.crash_step(self.rank) == Some(step) {
+                panic!(
+                    "injected fault: rank {} (node {}) crashed at app step {}",
+                    self.rank,
+                    self.node(),
+                    step
+                );
+            }
+        }
+    }
+
+    /// True while `rank` has neither returned nor panicked.
+    pub fn alive(&self, rank: usize) -> bool {
+        self.fabric.alive[rank].load(Ordering::SeqCst)
+    }
+
+    /// True once `rank` has died abnormally (injected crash or panic),
+    /// as opposed to finishing its closure.
+    pub fn crashed(&self, rank: usize) -> bool {
+        self.fabric.crashed[rank].load(Ordering::SeqCst)
+    }
+
+    /// Fails loudly with full attribution if `rank` has *crashed*.
+    /// Distributed algorithms call this before committing to a blocking
+    /// exchange pattern, so a crashed peer surfaces as a named error
+    /// (`ctx` says which pattern) instead of a hang deep inside it. A
+    /// peer that merely finished its closure does not trip the guard:
+    /// its already-posted messages remain deliverable, and a genuinely
+    /// missing one fails through the blocking-receive terminated-peer
+    /// path instead.
+    pub fn require_alive(&self, rank: usize, ctx: &str) {
+        if !self.alive(rank) && self.crashed(rank) {
+            panic!(
+                "peer rank terminated: rank {} (node {}) is dead; rank {} (node {}) requires it for {}{}",
+                rank,
+                self.node_of(rank),
+                self.rank,
+                self.node(),
+                ctx,
+                self.step_ctx()
+            );
+        }
+    }
+
+    /// `" at app step k"` when a step was announced, `""` otherwise.
+    fn step_ctx(&self) -> String {
+        self.app_step.map_or(String::new(), |s| format!(" at app step {s}"))
+    }
+
+    /// Resolves (and consumes the sequence number for) the fault hitting
+    /// the next user message to `dst`, if any.
+    fn next_edge_fault(&mut self, dst: usize, tag: Tag) -> Option<EdgeFaultKind> {
+        let plan = self.faults.as_ref()?;
+        let idx = self.fault_seq[dst];
+        self.fault_seq[dst] += 1;
+        plan.edge_fault(self.rank, dst, tag, idx)
+    }
+
     // ---- point-to-point -------------------------------------------------
 
+    /// User-level post with fault injection applied. Internal collective
+    /// traffic bypasses this (a dropped barrier round would model a
+    /// broken MPI library, not a lossy network or a failed node).
+    fn post_user<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) {
+        let bytes = value.byte_len();
+        match self.next_edge_fault(dst, tag) {
+            Some(EdgeFaultKind::Drop) => {
+                // Pays the wire like a genuinely lost packet but never
+                // delivers; the receiver can only learn of the loss when
+                // this rank terminates.
+                self.stats.faults_dropped += 1;
+                self.post_opts(dst, tag, None, bytes, 0.0);
+            }
+            Some(EdgeFaultKind::Delay { extra_s }) => {
+                self.stats.faults_delayed += 1;
+                self.stats.fault_delay_s += extra_s;
+                self.post_opts(dst, tag, Some(Box::new(value)), bytes, extra_s);
+            }
+            Some(EdgeFaultKind::Duplicate) => {
+                // Two full deliveries, each paying its own wire cost.
+                self.stats.faults_duplicated += 1;
+                self.post_opts(dst, tag, Some(Box::new(value.clone())), bytes, 0.0);
+                self.post_opts(dst, tag, Some(Box::new(value)), bytes, 0.0);
+            }
+            None => self.post_opts(dst, tag, Some(Box::new(value)), bytes, 0.0),
+        }
+    }
+
     pub(crate) fn post(&mut self, dst: usize, tag: Tag, payload: Box<dyn Any + Send>, bytes: usize) {
+        self.post_opts(dst, tag, Some(payload), bytes, 0.0);
+    }
+
+    /// The one true delivery path: charges the wire, then (unless the
+    /// message was dropped by injection, `payload == None`) delivers the
+    /// envelope with `extra_delay` added to its arrival time.
+    fn post_opts(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Option<Box<dyn Any + Send>>,
+        bytes: usize,
+        extra_delay: f64,
+    ) {
         let transfer = self.net.transfer_time(self.node(), self.node_of(dst), bytes);
-        let arrival = self.clock + transfer;
+        let arrival = self.clock + transfer + extra_delay;
         self.stats.bytes_sent += bytes as u64;
         if self.node() == self.node_of(dst) {
             self.stats.intra_bytes += bytes as u64;
@@ -262,10 +397,19 @@ impl Comm {
             self.stats.inter_msgs += 1;
             self.stats.inter_wire_s += transfer;
         }
-        assert!(
-            self.fabric.alive[dst].load(Ordering::SeqCst),
-            "destination rank terminated"
-        );
+        if !self.fabric.alive[dst].load(Ordering::SeqCst) {
+            panic!(
+                "destination rank terminated: rank {} (node {}) is dead; rank {} (node {}) posted {} bytes on tag {:#x}{}",
+                dst,
+                self.node_of(dst),
+                self.rank,
+                self.node(),
+                bytes,
+                tag,
+                self.step_ctx()
+            );
+        }
+        let Some(payload) = payload else { return };
         let inbox = &self.fabric.inboxes[dst];
         let mut st = lock_state(inbox);
         st.arrived
@@ -292,7 +436,7 @@ impl Comm {
     /// posts happened before that store — so observing `false` here
     /// guarantees every envelope it ever sent has already been drained,
     /// making "not found + dead" a genuinely hopeless state.
-    fn take(&mut self, src: usize, tag: Tag) -> Envelope {
+    fn take(&mut self, src: usize, tag: Tag, cat: Category) -> Envelope {
         if let Some(pos) = self.pending[src].iter().position(|e| e.tag == tag) {
             return self.pending[src].remove(pos).expect("position just found");
         }
@@ -306,7 +450,16 @@ impl Comm {
             }
             if !self.fabric.alive[src].load(Ordering::SeqCst) {
                 drop(st);
-                panic!("peer rank terminated while messages were expected");
+                panic!(
+                    "peer rank terminated while messages were expected: rank {} (node {}) died before delivering a {} on tag {:#x} to rank {} (node {}){}",
+                    src,
+                    self.node_of(src),
+                    cat,
+                    tag,
+                    self.rank,
+                    self.node(),
+                    self.step_ctx()
+                );
             }
             let seq = st.seq;
             while st.seq == seq {
@@ -317,7 +470,7 @@ impl Comm {
     }
 
     pub(crate) fn take_env(&mut self, src: usize, tag: Tag, cat: Category) -> Envelope {
-        let env = self.take(src, tag);
+        let env = self.take(src, tag, cat);
         let new_clock = self.clock.max(env.arrival);
         self.stats.add_time(cat, new_clock - self.clock);
         self.clock = new_clock;
@@ -332,13 +485,12 @@ impl Comm {
 
     /// Blocking send. The sender pays its injection overhead immediately.
     pub fn send<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) {
-        let bytes = value.byte_len();
         let overhead = if self.node() == self.node_of(dst) {
             self.net.shm_latency
         } else {
             self.net.sw_overhead
         };
-        self.post(dst, tag, Box::new(value), bytes);
+        self.post_user(dst, tag, value);
         self.clock += overhead;
         self.stats.add_time(Category::Send, overhead);
     }
@@ -352,8 +504,7 @@ impl Comm {
     /// Combined exchange: sends `value` to `dst` and receives from `src`
     /// (the `MPI_Sendrecv` of the ring-based method, Sec. IV-B1).
     pub fn sendrecv<T: Payload>(&mut self, dst: usize, src: usize, tag: Tag, value: T) -> T {
-        let bytes = value.byte_len();
-        self.post(dst, tag, Box::new(value), bytes);
+        self.post_user(dst, tag, value);
         let env = self.take_env(src, tag, Category::Sendrecv);
         Self::downcast(env)
     }
@@ -361,8 +512,7 @@ impl Comm {
     /// Nonblocking send: message leaves immediately, costs no local time
     /// (completion semantics live entirely in the receiver's `wait`).
     pub fn isend<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) -> Request {
-        let bytes = value.byte_len();
-        self.post(dst, tag, Box::new(value), bytes);
+        self.post_user(dst, tag, value);
         Request::Send
     }
 
@@ -465,7 +615,20 @@ impl Comm {
             });
             if hopeless {
                 drop(st);
-                panic!("peer rank terminated while messages were expected");
+                let dead: Vec<String> = reqs
+                    .iter()
+                    .map(|req| {
+                        let Request::Recv { src, tag, .. } = req else { unreachable!() };
+                        format!("rank {} (node {}, tag {:#x})", src, self.node_of(*src), tag)
+                    })
+                    .collect();
+                panic!(
+                    "peer rank terminated while messages were expected: every peer awaited by rank {} (node {}) in a Wait died undelivered — {}{}",
+                    self.rank,
+                    self.node(),
+                    dead.join(", "),
+                    self.step_ctx()
+                );
             }
             let seq = st.seq;
             while st.seq == seq {
@@ -569,13 +732,21 @@ pub struct Cluster {
     pub ranks_per_node: usize,
     /// Interconnect model.
     pub net: NetworkModel,
+    /// Optional fault script applied to every run (see [`crate::fault`]).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Cluster {
     /// Convenience constructor.
     pub fn new(ranks: usize, ranks_per_node: usize, net: NetworkModel) -> Self {
         assert!(ranks > 0 && ranks_per_node > 0);
-        Cluster { ranks, ranks_per_node, net }
+        Cluster { ranks, ranks_per_node, net, faults: None }
+    }
+
+    /// Installs a fault script for subsequent runs.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// A cluster with a free network, for correctness tests.
@@ -596,6 +767,7 @@ impl Cluster {
         let p = self.ranks;
         let net = Arc::new(self.net.clone());
         let shm = Arc::new(crate::shm::ShmRegistry::default());
+        let faults = self.faults.clone().map(Arc::new);
         let fabric = Arc::new(Fabric {
             inboxes: (0..p)
                 .map(|_| Inbox {
@@ -604,6 +776,7 @@ impl Cluster {
                 })
                 .collect(),
             alive: (0..p).map(|_| AtomicBool::new(true)).collect(),
+            crashed: (0..p).map(|_| AtomicBool::new(false)).collect(),
         });
 
         let slots: Vec<parking_lot::Mutex<Option<(R, RankReport)>>> =
@@ -614,6 +787,7 @@ impl Cluster {
                 let fabric = Arc::clone(&fabric);
                 let net = Arc::clone(&net);
                 let shm = Arc::clone(&shm);
+                let faults = faults.clone();
                 let f = &f;
                 let rpn = self.ranks_per_node;
                 handles.push(s.spawn(move || {
@@ -631,6 +805,9 @@ impl Cluster {
                         net,
                         shm,
                         clock: 0.0,
+                        faults,
+                        fault_seq: vec![0; p],
+                        app_step: None,
                         stats: Stats::default(),
                     };
                     let out = f(&mut comm);
@@ -1037,6 +1214,104 @@ mod tests {
         assert!((out[0].0 - 2.5).abs() < 1e-12);
         assert!((out[0].1.stats.time(Category::Compute) - 2.5).abs() < 1e-12);
         assert!(out[0].1.stats.comm_time() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_message_never_arrives_but_is_attributed() {
+        let plan = FaultPlan::new(7).drop_edge(0, 1, Some(100));
+        let out = Cluster::ideal(2).with_faults(plan).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 100, vec![1u64]); // dropped
+                c.send(1, 101, vec![2u64]); // delivered
+                c.stats.faults_dropped
+            } else {
+                let v = c.recv::<Vec<u64>>(0, 101);
+                assert_eq!(v, vec![2]);
+                c.stats.faults_dropped
+            }
+        });
+        assert_eq!(out[0].0, 1, "sender attributes the drop");
+        assert_eq!(out[1].0, 0, "receiver injected nothing");
+    }
+
+    #[test]
+    fn delayed_message_arrives_late_on_the_virtual_clock() {
+        let plan = FaultPlan::new(7).delay_edge(0, 1, None, 0.25);
+        let out = Cluster::ideal(2).with_faults(plan).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 5, vec![9u64]);
+                (0.0, c.stats.fault_delay_s)
+            } else {
+                let _ = c.recv::<Vec<u64>>(0, 5);
+                (c.now(), c.stats.fault_delay_s)
+            }
+        });
+        assert!((out[1].0 .0 - 0.25).abs() < 1e-12, "receiver clock {}", out[1].0 .0);
+        assert!((out[0].0 .1 - 0.25).abs() < 1e-12, "sender attributes the delay");
+    }
+
+    #[test]
+    fn duplicated_message_is_delivered_twice() {
+        let plan = FaultPlan::new(7).duplicate_edge(0, 1, Some(3));
+        let out = Cluster::ideal(2).with_faults(plan).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 3, vec![4u64]);
+                (vec![], c.stats.faults_duplicated)
+            } else {
+                let a = c.recv::<Vec<u64>>(0, 3);
+                let b = c.recv::<Vec<u64>>(0, 3);
+                (vec![a[0], b[0]], c.stats.faults_duplicated)
+            }
+        });
+        assert_eq!(out[1].0 .0, vec![4, 4]);
+        assert_eq!(out[0].0 .1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: rank 0 (node 0) crashed at app step 2")]
+    fn scripted_crash_fires_at_its_step() {
+        let plan = FaultPlan::new(7).crash(0, 2);
+        Cluster::ideal(2).with_faults(plan).run(|c| {
+            for step in 0..4u64 {
+                c.begin_step(step);
+                let peer = 1 - c.rank();
+                let _ = c.sendrecv(peer, peer, 50 + step, vec![c.rank() as u64]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "peer rank terminated: rank 1 (node 0) is dead")]
+    fn require_alive_names_the_dead_rank() {
+        // Rank 1 crashes; rank 0 (whose panic Cluster::run surfaces
+        // first) observes it through the guard.
+        let plan = crate::fault::FaultPlan::new(1).crash(1, 3);
+        Cluster::ideal(2).with_faults(plan).run(|c| {
+            c.begin_step(3); // rank 1 crashes here
+            while c.alive(1) {
+                std::thread::yield_now();
+            }
+            c.require_alive(1, "ring exchange");
+        });
+    }
+
+    #[test]
+    fn require_alive_tolerates_a_cleanly_finished_peer() {
+        // A rank that *returned* is dead but not crashed: its in-flight
+        // messages are still deliverable, so the guard must not fire.
+        let out = Cluster::ideal(2).run(|c| {
+            if c.rank() == 1 {
+                while c.alive(0) {
+                    std::thread::yield_now();
+                }
+                assert!(!c.crashed(0));
+                c.require_alive(0, "ring exchange");
+                true
+            } else {
+                false // rank 0 returns immediately, flagging itself dead
+            }
+        });
+        assert!(out[1].0);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! Long production runs die two ways the correctness tests never
+//! exercised: a rank disappears (node failure, OOM kill), or the
+//! network misbehaves (lost, late, or duplicated packets that a real
+//! MPI would surface as stalls and retransmits). A [`FaultPlan`] scripts
+//! both against the simulator so the distributed algorithms and the
+//! `ptim::resilience` recovery layer can be *tested* against failure
+//! instead of assumed correct:
+//!
+//! * **Rank crashes** fire at a chosen application step: the rank
+//!   panics inside [`Comm::begin_step`](crate::Comm::begin_step) with an
+//!   attributed message, its `AliveGuard` marks it dead, and every peer
+//!   blocked on it fails loudly through the terminated-peer paths.
+//! * **Edge faults** (drop / delay / duplicate) apply to the
+//!   point-to-point user sends (`send` / `isend` / `sendrecv`) on a
+//!   chosen `(src, dst)` edge, optionally restricted to one tag.
+//!   Probabilistic faults are resolved by hashing
+//!   `(seed, fault index, src, dst, tag, per-edge message index)` — a
+//!   pure function of the message sequence, so a plan produces the
+//!   *identical* fault pattern on every run regardless of host thread
+//!   scheduling.
+//!
+//! Injected faults are attributed in [`Stats`](crate::Stats)
+//! (`faults_dropped` / `faults_delayed` / `faults_duplicated` /
+//! `fault_delay_s`) on the sending rank, so a test can assert exactly
+//! what was injected and separate injected failures from genuine bugs.
+
+use crate::comm::Tag;
+
+/// What happens to a message picked by an edge fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EdgeFaultKind {
+    /// The message is charged to the wire but never delivered — the
+    /// receiver can only learn of it when the sender terminates.
+    Drop,
+    /// The message arrives `extra_s` virtual seconds late.
+    Delay {
+        /// Additional transfer latency in virtual seconds.
+        extra_s: f64,
+    },
+    /// The message is delivered twice (same payload, same arrival).
+    Duplicate,
+}
+
+/// One scripted fault on a directed point-to-point edge.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeFault {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Restrict to this tag (`None` = every user tag on the edge).
+    pub tag: Option<Tag>,
+    /// The injected behavior.
+    pub kind: EdgeFaultKind,
+    /// Injection probability in `[0, 1]`, resolved deterministically
+    /// per message (1.0 = every matching message).
+    pub probability: f64,
+}
+
+/// A deterministic, seed-driven fault script for one cluster run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the per-message fault coin.
+    pub seed: u64,
+    crashes: Vec<(usize, u64)>,
+    edges: Vec<EdgeFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given coin seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, crashes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Scripts `rank` to crash at the start of application step `step`
+    /// (fires in [`Comm::begin_step`](crate::Comm::begin_step)).
+    pub fn crash(mut self, rank: usize, step: u64) -> Self {
+        self.crashes.push((rank, step));
+        self
+    }
+
+    /// Scripts an always-on drop on the `(src, dst)` edge.
+    pub fn drop_edge(self, src: usize, dst: usize, tag: Option<Tag>) -> Self {
+        self.edge(EdgeFault { src, dst, tag, kind: EdgeFaultKind::Drop, probability: 1.0 })
+    }
+
+    /// Scripts an always-on delay of `extra_s` on the `(src, dst)` edge.
+    pub fn delay_edge(self, src: usize, dst: usize, tag: Option<Tag>, extra_s: f64) -> Self {
+        self.edge(EdgeFault {
+            src,
+            dst,
+            tag,
+            kind: EdgeFaultKind::Delay { extra_s },
+            probability: 1.0,
+        })
+    }
+
+    /// Scripts an always-on duplication on the `(src, dst)` edge.
+    pub fn duplicate_edge(self, src: usize, dst: usize, tag: Option<Tag>) -> Self {
+        self.edge(EdgeFault {
+            src,
+            dst,
+            tag,
+            kind: EdgeFaultKind::Duplicate,
+            probability: 1.0,
+        })
+    }
+
+    /// Adds a fully specified edge fault (probabilistic faults go
+    /// through here).
+    pub fn edge(mut self, fault: EdgeFault) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fault.probability),
+            "fault probability {} outside [0, 1]",
+            fault.probability
+        );
+        self.edges.push(fault);
+        self
+    }
+
+    /// True when the plan schedules any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.edges.is_empty()
+    }
+
+    /// The step at which `rank` is scripted to crash, if any.
+    pub fn crash_step(&self, rank: usize) -> Option<u64> {
+        self.crashes.iter().find(|(r, _)| *r == rank).map(|(_, s)| *s)
+    }
+
+    /// Resolves the fault (if any) hitting message number `msg_index` of
+    /// the `(src, dst)` edge with tag `tag`. Pure in its arguments and
+    /// the plan, hence deterministic across runs; the first matching
+    /// fault whose coin comes up wins.
+    pub fn edge_fault(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        msg_index: u64,
+    ) -> Option<EdgeFaultKind> {
+        for (fi, f) in self.edges.iter().enumerate() {
+            if f.src != src || f.dst != dst {
+                continue;
+            }
+            if let Some(t) = f.tag {
+                if t != tag {
+                    continue;
+                }
+            }
+            if f.probability >= 1.0 || fault_coin(self.seed, fi as u64, src, dst, tag, msg_index) < f.probability {
+                return Some(f.kind);
+            }
+        }
+        None
+    }
+}
+
+/// SplitMix64 finalizer — the deterministic hash behind the fault coin.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform coin in `[0, 1)` for one (fault, message) pairing.
+fn fault_coin(seed: u64, fault: u64, src: usize, dst: usize, tag: Tag, idx: u64) -> f64 {
+    let mut h = splitmix64(seed ^ fault.wrapping_mul(0xa076_1d64_78bd_642f));
+    h = splitmix64(h ^ (src as u64).wrapping_mul(0xe703_7ed1_a0b4_28db));
+    h = splitmix64(h ^ (dst as u64) ^ tag.rotate_left(17));
+    h = splitmix64(h ^ idx);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_lookup_finds_scripted_rank() {
+        let plan = FaultPlan::new(1).crash(3, 7);
+        assert_eq!(plan.crash_step(3), Some(7));
+        assert_eq!(plan.crash_step(2), None);
+    }
+
+    #[test]
+    fn edge_fault_matches_edge_and_tag() {
+        let plan = FaultPlan::new(1).drop_edge(0, 1, Some(42));
+        assert_eq!(plan.edge_fault(0, 1, 42, 0), Some(EdgeFaultKind::Drop));
+        assert_eq!(plan.edge_fault(0, 1, 43, 0), None, "other tag untouched");
+        assert_eq!(plan.edge_fault(1, 0, 42, 0), None, "reverse edge untouched");
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_and_calibrated() {
+        let plan = FaultPlan::new(99).edge(EdgeFault {
+            src: 0,
+            dst: 1,
+            tag: None,
+            kind: EdgeFaultKind::Drop,
+            probability: 0.25,
+        });
+        let pattern: Vec<bool> =
+            (0..4000).map(|i| plan.edge_fault(0, 1, 5, i).is_some()).collect();
+        // Identical on a second evaluation (pure function).
+        for (i, &hit) in pattern.iter().enumerate() {
+            assert_eq!(plan.edge_fault(0, 1, 5, i as u64).is_some(), hit);
+        }
+        let rate = pattern.iter().filter(|&&h| h).count() as f64 / pattern.len() as f64;
+        assert!((rate - 0.25).abs() < 0.03, "empirical rate {rate}");
+        // A different seed yields a different pattern.
+        let other = FaultPlan::new(100).edge(EdgeFault {
+            src: 0,
+            dst: 1,
+            tag: None,
+            kind: EdgeFaultKind::Drop,
+            probability: 0.25,
+        });
+        assert!(
+            (0..4000).any(|i| other.edge_fault(0, 1, 5, i).is_some() != pattern[i as usize]),
+            "seed must change the pattern"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_invalid_probability() {
+        let _ = FaultPlan::new(0).edge(EdgeFault {
+            src: 0,
+            dst: 1,
+            tag: None,
+            kind: EdgeFaultKind::Drop,
+            probability: 1.5,
+        });
+    }
+}

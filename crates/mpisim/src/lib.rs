@@ -19,15 +19,22 @@
 //! Substitution note (DESIGN.md §2): this replaces MPI on Fugaku/the GPU
 //! cluster. Patterns and data paths are identical; absolute times come
 //! from the calibrated model, not the real interconnect.
+//!
+//! For resilience testing, a deterministic [`fault::FaultPlan`] can be
+//! installed on a [`Cluster`] to script rank crashes at a chosen step and
+//! message drop/delay/duplication on chosen edges, with per-rank
+//! attribution in [`Stats`].
 
 pub mod collectives;
 pub mod comm;
+pub mod fault;
 pub mod hier;
 pub mod shm;
 pub mod stats;
 pub mod topology;
 
 pub use comm::{Cluster, Comm, Payload, Request, Tag};
+pub use fault::{EdgeFault, EdgeFaultKind, FaultPlan};
 pub use shm::ShmWindow;
 pub use stats::{Category, RankReport, Stats};
 pub use topology::{NetworkModel, Topology};

@@ -96,6 +96,17 @@ pub struct Stats {
     /// the wait was issued, so it never blocked the rank. The visible
     /// remainder is what lands in the `Wait` category.
     pub overlap_hidden_s: f64,
+    /// Messages this rank sent that an injected fault dropped
+    /// (see [`crate::fault`]); attribution lets tests separate injected
+    /// losses from genuine bugs.
+    pub faults_dropped: u64,
+    /// Messages this rank sent that an injected fault delayed.
+    pub faults_delayed: u64,
+    /// Messages this rank sent that an injected fault duplicated.
+    pub faults_duplicated: u64,
+    /// Total extra arrival latency injected into this rank's sends
+    /// (virtual seconds).
+    pub fault_delay_s: f64,
 }
 
 impl Stats {
@@ -164,6 +175,10 @@ impl Stats {
             self.unshared_equivalent_bytes.max(other.unshared_equivalent_bytes);
         self.overlap_total_s = self.overlap_total_s.max(other.overlap_total_s);
         self.overlap_hidden_s = self.overlap_hidden_s.max(other.overlap_hidden_s);
+        self.faults_dropped = self.faults_dropped.max(other.faults_dropped);
+        self.faults_delayed = self.faults_delayed.max(other.faults_delayed);
+        self.faults_duplicated = self.faults_duplicated.max(other.faults_duplicated);
+        self.fault_delay_s = self.fault_delay_s.max(other.fault_delay_s);
     }
 }
 

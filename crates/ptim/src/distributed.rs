@@ -272,6 +272,8 @@ pub fn dist_rotate(
             }
         }
         if step + 1 < p {
+            comm.require_alive(left, "the band-ring rotation");
+            comm.require_alive(right, "the band-ring rotation");
             block = comm.sendrecv(left, right, 7_000 + step as u64, block);
         }
     }
@@ -445,6 +447,7 @@ pub fn dist_fock_apply(
         ExchangeStrategy::Bcast => {
             // Fig. 5(a): every rank broadcasts its block in turn.
             for root in 0..p {
+                comm.require_alive(root, "the exchange broadcast");
                 let payload =
                     if comm.rank() == root { Some(nat_r_local.to_vec()) } else { None };
                 let block = comm.bcast(root, payload);
@@ -462,6 +465,8 @@ pub fn dist_fock_apply(
                 let solves = process_block(&block, src_rank, &mut out, &mut pair);
                 charge(comm, solves);
                 if step + 1 < p {
+                    comm.require_alive(left, "the exchange ring rotation");
+                    comm.require_alive(right, "the exchange ring rotation");
                     block = comm.sendrecv(left, right, 8_000 + step as u64, block);
                 }
             }
@@ -475,6 +480,8 @@ pub fn dist_fock_apply(
             for step in 0..p {
                 let src_rank = (comm.rank() + step) % p;
                 let pending = if step + 1 < p {
+                    comm.require_alive(left, "the async exchange ring");
+                    comm.require_alive(right, "the async exchange ring");
                     let rreq = comm.irecv(right, 9_000 + step as u64);
                     let _s = comm.isend(left, 9_000 + step as u64, block.clone());
                     Some(rreq)
@@ -496,6 +503,13 @@ pub fn dist_fock_apply(
 
 /// One distributed PT-IM time step (dense diagonalized exchange),
 /// algorithmically identical to the serial [`crate::ptim::ptim_step`].
+///
+/// Resilience: drive the outer loop with [`Comm::begin_step`] so injected
+/// faults ([`mpisim::FaultPlan`]) fire at the intended application step.
+/// Every blocking exchange inside the step pre-checks its peers with
+/// [`Comm::require_alive`], so a crashed rank surfaces on the survivors
+/// as an attributed `peer rank terminated` panic naming the dead rank,
+/// the requiring rank, the operation, and the step — never a deadlock.
 #[allow(clippy::too_many_arguments)]
 pub fn dist_ptim_step(
     comm: &mut Comm,

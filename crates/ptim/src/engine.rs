@@ -51,6 +51,10 @@ pub struct TdEngine<'s> {
     /// propagators snapshot the totals around each step to fill
     /// [`StepStats`](crate::StepStats).
     pub counters: Arc<SolveCounters>,
+    /// Periodic-checkpoint policy consulted by the
+    /// [`resilience::run`](crate::resilience::run) driver (`None` = no
+    /// checkpointing). Install with [`Self::with_checkpoints`].
+    pub checkpoints: Option<crate::resilience::CheckpointPolicy>,
     /// Cached sawtooth x-coordinate.
     x_saw: Vec<f64>,
 }
@@ -95,8 +99,16 @@ impl<'s> TdEngine<'s> {
             hybrid,
             backend,
             counters: Arc::new(SolveCounters::default()),
+            checkpoints: None,
             x_saw,
         }
+    }
+
+    /// Installs a periodic-checkpoint policy (consumed by
+    /// [`resilience::run`](crate::resilience::run)).
+    pub fn with_checkpoints(mut self, policy: crate::resilience::CheckpointPolicy) -> Self {
+        self.checkpoints = Some(policy);
+        self
     }
 
     /// A Fock operator on the engine's grid, backend, and scheduler
@@ -124,6 +136,7 @@ impl<'s> TdEngine<'s> {
             hybrid,
             backend: self.backend.clone(),
             counters: self.counters.clone(),
+            checkpoints: self.checkpoints.clone(),
             x_saw: self.x_saw.clone(),
         }
     }

@@ -223,6 +223,8 @@ pub fn ring_overlap_fock_apply(
         // Double-buffered handoff: post the next block's transfer before
         // touching this block's pair tiles.
         let pending = if step + 1 < groups {
+            comm.require_alive(recv_from, "the ring-overlap exchange");
+            comm.require_alive(send_to, "the ring-overlap exchange");
             let rreq = comm.irecv(recv_from, 10_000 + step as u64);
             let _sreq = comm.isend(send_to, 10_000 + step as u64, block.clone());
             Some(rreq)

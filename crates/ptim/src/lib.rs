@@ -22,6 +22,10 @@
 //!   ([`grid2d::GridDistribution`] + `pwfft::dist`), and the
 //!   ring-pipelined communication-overlapped Fock exchange behind
 //!   [`distributed::ExchangeStrategy::RingOverlap`].
+//! * [`resilience`] — checkpoint/restart (versioned, checksummed,
+//!   atomically written snapshots of `(Φ, σ, t)`), the step-level
+//!   recovery ladder (fp64 promotion → dt halving → checkpoint restore),
+//!   and the resilient run driver (DESIGN.md §12).
 //!
 //! Everything is exercised against invariants (trace/Hermiticity of σ,
 //! orthonormality, energy conservation, gauge invariance) and against the
@@ -36,6 +40,7 @@ pub mod propagate;
 pub mod ptcn;
 pub mod ptim;
 pub mod ptim_ace;
+pub mod resilience;
 pub mod rk4;
 pub mod state;
 
@@ -43,6 +48,10 @@ pub use engine::{HybridParams, TdEngine};
 pub use laser::LaserPulse;
 pub use observables::Recorder;
 pub use propagate::{step_with_drift_guard, StepStats};
+pub use resilience::{
+    step_with_recovery, Checkpoint, CheckpointError, CheckpointMeta, CheckpointPolicy,
+    Propagator, RecoveryPolicy,
+};
 pub use ptcn::{ptcn_step, PtcnConfig};
 pub use ptim::{ptim_step, PtimConfig};
 pub use ptim_ace::{ptim_ace_step, PtimAceConfig};

@@ -47,6 +47,14 @@ pub struct StepStats {
     /// fp64 (see
     /// [`PrecisionPolicy::promote_drift`](pwnum::precision::PrecisionPolicy)).
     pub precision_promotions: usize,
+    /// Number of dt halvings the recovery ladder needed before this
+    /// step's result was finite (0 on a healthy step; see
+    /// [`step_with_recovery`](crate::resilience::step_with_recovery)).
+    pub recovery_dt_halvings: usize,
+    /// Checkpoint restores charged to this step by the
+    /// [`resilience::run`](crate::resilience::run) driver (the step that
+    /// finally succeeded after a restore carries the count).
+    pub recovery_restores: usize,
 }
 
 /// True when the engine's policy asks the propagators to measure the

@@ -51,6 +51,15 @@ impl Default for PtcnConfig {
     }
 }
 
+impl PtcnConfig {
+    /// The same configuration with a different time step — how the
+    /// recovery ladder builds its halved-dt retries.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+}
+
 /// `(I − P) H Φ` with `P = Φ (Φ^HΦ)⁻¹ Φ^H` — the parallel-transport
 /// residual force on the orbital block.
 fn pt_force(h: &pwdft::Hamiltonian, phi: &Wavefunction) -> Vec<Complex64> {

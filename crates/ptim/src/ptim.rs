@@ -40,6 +40,15 @@ impl Default for PtimConfig {
     }
 }
 
+impl PtimConfig {
+    /// The same configuration with a different time step — how the
+    /// recovery ladder builds its halved-dt retries.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+}
+
 /// One PT-IM time step with dense (diagonalized) Fock exchange. Under a
 /// reduced precision policy the step runs the drift monitor and may be
 /// recomputed at fp64 (see

@@ -49,6 +49,15 @@ impl Default for PtimAceConfig {
     }
 }
 
+impl PtimAceConfig {
+    /// The same configuration with a different time step — how the
+    /// recovery ladder builds its halved-dt retries.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+}
+
 /// One PT-IM-ACE time step (Fig. 4b). Under a reduced precision policy
 /// the step runs the drift monitor.
 pub fn ptim_ace_step(

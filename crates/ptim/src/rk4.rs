@@ -19,6 +19,15 @@ pub struct Rk4Config {
     pub dt: f64,
 }
 
+impl Rk4Config {
+    /// The same configuration with a different time step — how the
+    /// recovery ladder builds its halved-dt retries.
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+}
+
 /// Derivative `f(t, Φ) = −i H(t, P[Φ, σ]) Φ` at fixed σ.
 fn derivative(eng: &TdEngine, phi: &Wavefunction, state: &TdState, t: f64) -> Wavefunction {
     let ev = eng.eval(phi, &state.sigma, t);

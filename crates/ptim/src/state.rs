@@ -40,6 +40,23 @@ impl TdState {
         self.sigma.hermiticity_error()
     }
 
+    /// True when every orbital coefficient, σ entry, and the time are
+    /// finite — the health check of the recovery ladder: a blown-up or
+    /// NaN-poisoned step fails this and triggers a retry.
+    pub fn all_finite(&self) -> bool {
+        self.time.is_finite()
+            && self
+                .phi
+                .data
+                .iter()
+                .all(|z| z.re.is_finite() && z.im.is_finite())
+            && self
+                .sigma
+                .as_slice()
+                .iter()
+                .all(|z| z.re.is_finite() && z.im.is_finite())
+    }
+
     /// Max departure of Φ from orthonormality.
     pub fn orthonormality_error(&self) -> f64 {
         let s = self.phi.overlap(&self.phi);

@@ -47,6 +47,7 @@ pub mod eig;
 pub mod gemm;
 pub mod lstsq;
 pub mod parallel;
+pub mod persist;
 pub mod precision;
 pub mod tuning;
 

@@ -233,8 +233,11 @@ impl TuningTable {
     }
 
     /// Writes the table to `path` (the artifact uploaded by CI).
+    /// Staged through [`crate::persist::atomic_write`]: a bench run
+    /// killed mid-save leaves the previous table intact instead of a
+    /// truncated JSON that [`Self::load`] would reject.
     pub fn save(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::persist::atomic_write(path, self.to_json().as_bytes())
     }
 }
 

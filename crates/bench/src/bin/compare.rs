@@ -34,6 +34,10 @@
 //!   and a run restored from a checkpoint must land bitwise on the
 //!   uninterrupted run's final state (`restart_max_diff` ≤ 0,
 //!   deterministic dynamics).
+//! * `BENCH_observability.json` — the `pwobs` recorder must cost ≤ 2%
+//!   of hybrid PT-IM step time when enabled (fastest-of-interleaved
+//!   samples) and ≤ 50 ns per span when disabled (the always-paid no-op
+//!   fast path of the instrumented hot loops).
 
 use std::process::ExitCode;
 
@@ -250,6 +254,28 @@ fn gates_for(basename: &str) -> Option<Vec<MetricGate>> {
                 max: Some(0.0),
             },
         ]),
+        "BENCH_observability.json" => Some(vec![
+            MetricGate {
+                what: "pwobs enabled overhead fraction of hybrid PT-IM step time",
+                select_key: "mode",
+                select_val: 1.0,
+                exclude: None,
+                require: None,
+                metric: "enabled_overhead_frac",
+                min: None,
+                max: Some(0.02),
+            },
+            MetricGate {
+                what: "pwobs disabled span cost (ns per open/drop)",
+                select_key: "mode",
+                select_val: 2.0,
+                exclude: None,
+                require: None,
+                metric: "disabled_span_ns",
+                min: None,
+                max: Some(50.0),
+            },
+        ]),
         _ => None,
     }
 }
@@ -327,6 +353,7 @@ fn main() -> ExitCode {
             format!("{dir}/BENCH_dist_scale.json"),
             format!("{dir}/BENCH_fusion.json"),
             format!("{dir}/BENCH_resilience.json"),
+            format!("{dir}/BENCH_observability.json"),
         ]
     } else {
         args

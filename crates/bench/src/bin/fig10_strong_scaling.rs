@@ -14,7 +14,10 @@
 //! local iteration, not for CI).
 
 use perfmodel::{parallel_efficiency, strong_scaling, Platform};
-use pwdft_bench::{dist_scale_point, fmt_s, print_table, write_dist_scale_json};
+use pwdft_bench::{
+    dist_scale_point_stats, fmt_s, print_table, truncate_rank_stats, write_dist_scale_json,
+    write_rank_stats_jsonl,
+};
 
 fn run(pf: &Platform, atoms: usize, nodes: &[usize], paper_eff: f64, paper_factor: f64) {
     let series = strong_scaling(pf, atoms, nodes);
@@ -65,8 +68,17 @@ fn main() {
 
     // (c) Paper-scale rank counts through the real distributed step.
     let n_bands = 64;
-    let points: Vec<_> =
-        [128usize, 256, 512].iter().map(|&p| dist_scale_point(p, n_bands, model_only)).collect();
+    let stats_path = "target/pwobs/fig10_rank_stats.jsonl";
+    truncate_rank_stats(stats_path);
+    let points: Vec<_> = [128usize, 256, 512]
+        .iter()
+        .map(|&p| {
+            let (pt, reports) = dist_scale_point_stats(p, n_bands, model_only);
+            write_rank_stats_jsonl(stats_path, &format!("strong_p{p}"), &reports)
+                .expect("rank stats jsonl");
+            pt
+        })
+        .collect();
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|pt| {
@@ -90,4 +102,7 @@ fn main() {
     );
     let path = write_dist_scale_json("strong", &points);
     println!("wrote strong series to {path}");
+    if !model_only {
+        println!("wrote per-rank comm profiles to {stats_path}");
+    }
 }

@@ -15,7 +15,10 @@
 
 use perfmodel::memory::{max_atoms, per_rank_memory};
 use perfmodel::{weak_scaling, Platform, Workload};
-use pwdft_bench::{dist_scale_point, fmt_s, print_table, write_dist_scale_json};
+use pwdft_bench::{
+    dist_scale_point_stats, fmt_s, print_table, truncate_rank_stats, write_dist_scale_json,
+    write_rank_stats_jsonl,
+};
 
 fn run(pf: &Platform, atoms: &[usize], nodes_for: impl Fn(usize) -> usize, anchor: &str) {
     let series = weak_scaling(pf, atoms, &nodes_for);
@@ -88,9 +91,16 @@ fn main() {
 
     // Weak scaling through the real distributed step: bands ∝ ranks.
     let model_only = std::env::args().any(|a| a == "--model-only");
+    let stats_path = "target/pwobs/fig11_rank_stats.jsonl";
+    truncate_rank_stats(stats_path);
     let points: Vec<_> = [128usize, 256, 512]
         .iter()
-        .map(|&p| dist_scale_point(p, p / 8, model_only))
+        .map(|&p| {
+            let (pt, reports) = dist_scale_point_stats(p, p / 8, model_only);
+            write_rank_stats_jsonl(stats_path, &format!("weak_p{p}"), &reports)
+                .expect("rank stats jsonl");
+            pt
+        })
         .collect();
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -112,4 +122,7 @@ fn main() {
     );
     let path = write_dist_scale_json("weak", &points);
     println!("wrote weak series to {path}");
+    if !model_only {
+        println!("wrote per-rank comm profiles to {stats_path}");
+    }
 }

@@ -164,6 +164,13 @@ pub fn dist_scale_model_s(p: usize, n_bands: usize) -> f64 {
 /// Runs one real `dist_ptim_step` at `p` simulated ranks and returns the
 /// virtual-clock step time (max over ranks).
 pub fn measure_dist_step(p: usize, n_bands: usize) -> f64 {
+    measure_dist_step_stats(p, n_bands).0
+}
+
+/// [`measure_dist_step`] keeping every rank's communication profile:
+/// returns the step time plus the per-rank [`mpisim::RankReport`]s (in
+/// rank order) for [`write_rank_stats_jsonl`].
+pub fn measure_dist_step_stats(p: usize, n_bands: usize) -> (f64, Vec<mpisim::RankReport>) {
     use ptim::distributed::{
         dist_ptim_step, scatter_state, BandDistribution, DistConfig, ExchangeStrategy,
     };
@@ -206,18 +213,58 @@ pub fn measure_dist_step(p: usize, n_bands: usize) -> f64 {
         );
         c.now()
     });
-    out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max)
+    let step_s = out.iter().map(|(t, _)| *t).fold(0.0f64, f64::max);
+    let reports = out.into_iter().map(|(_, r)| r).collect();
+    (step_s, reports)
+}
+
+/// Appends one JSONL line per rank to `path`: `{"label": ..., ` then the
+/// flat [`mpisim::RankReport::to_json`] fields. One file accumulates all
+/// the scaling points of a run (truncate it first with
+/// [`truncate_rank_stats`]), giving a directly loadable per-rank
+/// communication profile next to the aggregate `BENCH_*.json` rows.
+pub fn write_rank_stats_jsonl(
+    path: &str,
+    label: &str,
+    reports: &[mpisim::RankReport],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    for r in reports {
+        let body = r.to_json();
+        writeln!(f, "{{\"label\": \"{label}\", {}", &body[1..])?;
+    }
+    Ok(())
+}
+
+/// Starts a fresh rank-stats JSONL file (removes any previous run's).
+pub fn truncate_rank_stats(path: &str) {
+    let _ = std::fs::remove_file(path);
 }
 
 /// Produces one scaling point: simulator-measured unless `model_only`.
 pub fn dist_scale_point(p: usize, n_bands: usize, model_only: bool) -> DistScalePoint {
+    dist_scale_point_stats(p, n_bands, model_only).0
+}
+
+/// [`dist_scale_point`] keeping the per-rank communication profiles
+/// (empty under `model_only` — the closed form has no ranks to report).
+pub fn dist_scale_point_stats(
+    p: usize,
+    n_bands: usize,
+    model_only: bool,
+) -> (DistScalePoint, Vec<mpisim::RankReport>) {
     let model_s = dist_scale_model_s(p, n_bands);
-    let (step_s, source) = if model_only {
-        (model_s, "model")
+    let (step_s, source, reports) = if model_only {
+        (model_s, "model", Vec::new())
     } else {
-        (measure_dist_step(p, n_bands), "simulator")
+        let (t, r) = measure_dist_step_stats(p, n_bands);
+        (t, "simulator", r)
     };
-    DistScalePoint { ranks: p, n_bands, step_s, model_s, source }
+    (DistScalePoint { ranks: p, n_bands, step_s, model_s, source }, reports)
 }
 
 /// Merge-writes one series of `BENCH_dist_scale.json` next to this

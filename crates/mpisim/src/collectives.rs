@@ -46,6 +46,7 @@ impl Comm {
     /// Broadcast from `root` using a binomial tree. Non-root ranks pass
     /// `None` and receive the value; the root passes `Some(value)`.
     pub fn bcast<T: Payload + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        let _s = pwobs::span("comm.bcast");
         self.bcast_cat(root, value, Category::Bcast)
     }
 
@@ -93,6 +94,7 @@ impl Comm {
     /// All-reduce (element-wise sum) via binomial reduce-to-zero plus
     /// binomial broadcast. All time lands in `Allreduce`.
     pub fn allreduce<T: Reducible>(&mut self, value: T) -> T {
+        let _s = pwobs::span("comm.allreduce");
         let p = self.size();
         if p == 1 {
             return value;
@@ -217,6 +219,7 @@ impl Comm {
     /// exchange, `p-1` rounds — the world-sized special case of
     /// [`Comm::alltoallv_group`].
     pub fn alltoallv<T: Send + Clone + 'static>(&mut self, chunks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let _s = pwobs::span("comm.alltoallv");
         let members: Vec<usize> = (0..self.size()).collect();
         self.alltoallv_group(&members, chunks)
     }
@@ -263,6 +266,7 @@ impl Comm {
     /// receives all contributions ordered by rank. Ring algorithm,
     /// `p-1` forwarding steps.
     pub fn allgatherv<T: Send + Clone + 'static>(&mut self, mine: Vec<T>) -> Vec<Vec<T>> {
+        let _s = pwobs::span("comm.allgatherv");
         let p = self.size();
         let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
         out[self.rank()] = mine;

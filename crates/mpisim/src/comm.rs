@@ -485,6 +485,7 @@ impl Comm {
 
     /// Blocking send. The sender pays its injection overhead immediately.
     pub fn send<T: Payload>(&mut self, dst: usize, tag: Tag, value: T) {
+        let _s = pwobs::span("comm.send");
         let overhead = if self.node() == self.node_of(dst) {
             self.net.shm_latency
         } else {
@@ -497,6 +498,7 @@ impl Comm {
 
     /// Blocking receive.
     pub fn recv<T: Payload>(&mut self, src: usize, tag: Tag) -> T {
+        let _s = pwobs::span("comm.recv");
         let env = self.take_env(src, tag, Category::Recv);
         Self::downcast(env)
     }
@@ -504,6 +506,7 @@ impl Comm {
     /// Combined exchange: sends `value` to `dst` and receives from `src`
     /// (the `MPI_Sendrecv` of the ring-based method, Sec. IV-B1).
     pub fn sendrecv<T: Payload>(&mut self, dst: usize, src: usize, tag: Tag, value: T) -> T {
+        let _s = pwobs::span("comm.sendrecv");
         self.post_user(dst, tag, value);
         let env = self.take_env(src, tag, Category::Sendrecv);
         Self::downcast(env)
@@ -527,6 +530,7 @@ impl Comm {
     /// the overlap-efficiency metric
     /// ([`Stats::overlap_efficiency`](crate::stats::Stats::overlap_efficiency)).
     pub fn wait<T: Payload>(&mut self, req: Request) -> Option<T> {
+        let _s = pwobs::span("comm.wait");
         match req {
             Request::Send => None,
             Request::Recv { src, tag, posted_compute } => {
@@ -575,6 +579,7 @@ impl Comm {
     ///
     /// Panics when `reqs` is empty.
     pub fn waitany<T: Payload>(&mut self, reqs: &mut Vec<Request>) -> (usize, Option<T>) {
+        let _s = pwobs::span("comm.waitany");
         assert!(!reqs.is_empty(), "waitany needs at least one request");
         if let Some(i) = reqs.iter().position(|r| matches!(r, Request::Send)) {
             let Request::Send = reqs.remove(i) else { unreachable!() };
@@ -657,6 +662,7 @@ impl Comm {
     /// Dissemination barrier over all ranks (also synchronizes virtual
     /// clocks to the group maximum).
     pub fn barrier(&mut self) {
+        let _s = pwobs::span("comm.barrier");
         let p = self.size;
         if p == 1 {
             return;
@@ -811,6 +817,10 @@ impl Cluster {
                         stats: Stats::default(),
                     };
                     let out = f(&mut comm);
+                    // Bridge the rank's virtual-clock attribution into
+                    // the unified metrics registry (no-op when the
+                    // pwobs recorder is disabled).
+                    comm.stats.record_observability(rank);
                     let report = RankReport {
                         rank,
                         virtual_time: comm.clock,

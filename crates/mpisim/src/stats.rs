@@ -42,6 +42,36 @@ impl Category {
         Category::Allreduce,
         Category::Bcast,
     ];
+
+    /// Every category, in declaration order (JSON export iterates this).
+    pub const ALL: [Category; 10] = [
+        Category::Send,
+        Category::Recv,
+        Category::Sendrecv,
+        Category::Wait,
+        Category::Bcast,
+        Category::Allreduce,
+        Category::Alltoallv,
+        Category::Allgatherv,
+        Category::Barrier,
+        Category::Compute,
+    ];
+
+    /// Lowercase identifier used as a JSON / metrics key.
+    pub fn key(self) -> &'static str {
+        match self {
+            Category::Send => "send",
+            Category::Recv => "recv",
+            Category::Sendrecv => "sendrecv",
+            Category::Wait => "wait",
+            Category::Bcast => "bcast",
+            Category::Allreduce => "allreduce",
+            Category::Alltoallv => "alltoallv",
+            Category::Allgatherv => "allgatherv",
+            Category::Barrier => "barrier",
+            Category::Compute => "compute",
+        }
+    }
 }
 
 impl std::fmt::Display for Category {
@@ -150,6 +180,88 @@ impl Stats {
             .sum()
     }
 
+    /// Serializes every category time/count and memory/overlap/fault
+    /// field as one *flat* JSON object (hand-rolled: the build
+    /// environment vendors no serde). This is the uniform per-rank
+    /// export the examples and figure binaries route through, replacing
+    /// their ad-hoc column printing; flat keys keep the rows greppable
+    /// and `compare.rs`-parseable.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        for (i, cat) in Category::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\"time_{k}_s\": {t}, \"n_{k}\": {n}",
+                k = cat.key(),
+                t = fmt_json_f64(self.time(*cat)),
+                n = self.count(*cat),
+            );
+        }
+        let _ = write!(
+            out,
+            ", \"comm_s\": {}, \"bytes_sent\": {}, \"intra_bytes\": {}, \
+             \"inter_bytes\": {}, \"intra_msgs\": {}, \"inter_msgs\": {}, \
+             \"intra_wire_s\": {}, \"inter_wire_s\": {}, \"shm_staged_bytes\": {}, \
+             \"sched_wakeups\": {}, \"private_bytes\": {}, \"shm_bytes\": {}, \
+             \"unshared_equivalent_bytes\": {}, \"overlap_total_s\": {}, \
+             \"overlap_hidden_s\": {}, \"overlap_efficiency\": {}, \
+             \"faults_dropped\": {}, \"faults_delayed\": {}, \
+             \"faults_duplicated\": {}, \"fault_delay_s\": {}",
+            fmt_json_f64(self.comm_time()),
+            self.bytes_sent,
+            self.intra_bytes,
+            self.inter_bytes,
+            self.intra_msgs,
+            self.inter_msgs,
+            fmt_json_f64(self.intra_wire_s),
+            fmt_json_f64(self.inter_wire_s),
+            self.shm_staged_bytes,
+            self.sched_wakeups,
+            self.private_bytes,
+            self.shm_bytes,
+            self.unshared_equivalent_bytes,
+            fmt_json_f64(self.overlap_total_s),
+            fmt_json_f64(self.overlap_hidden_s),
+            fmt_json_f64(self.overlap_efficiency()),
+            self.faults_dropped,
+            self.faults_delayed,
+            self.faults_duplicated,
+            fmt_json_f64(self.fault_delay_s),
+        );
+        out.push('}');
+        out
+    }
+
+    /// Bridges this rank's virtual-clock attribution into the `pwobs`
+    /// registry under `rank{r}/...` gauge keys (comm time per category,
+    /// wire split, overlap, faults) — the one mapping between the
+    /// simulated-MPI stats surface and the unified metrics registry.
+    /// No-op (and allocation-free) while the recorder is disabled.
+    pub fn record_observability(&self, rank: usize) {
+        pwobs::if_enabled(|rec| {
+            for cat in Category::ALL {
+                let t = self.time(cat);
+                if t > 0.0 {
+                    rec.gauge_add(&format!("rank{rank}/comm/{}_s", cat.key()), t);
+                }
+            }
+            rec.gauge_add(&format!("rank{rank}/comm_s"), self.comm_time());
+            rec.gauge_add(&format!("rank{rank}/wire_intra_s"), self.intra_wire_s);
+            rec.gauge_add(&format!("rank{rank}/wire_inter_s"), self.inter_wire_s);
+            rec.gauge_add(&format!("rank{rank}/overlap_total_s"), self.overlap_total_s);
+            rec.gauge_add(&format!("rank{rank}/overlap_hidden_s"), self.overlap_hidden_s);
+            rec.gauge_add(&format!("rank{rank}/fault_delay_s"), self.fault_delay_s);
+            let faults = self.faults_dropped + self.faults_delayed + self.faults_duplicated;
+            if faults > 0 {
+                rec.counter_add(&format!("rank{rank}/faults"), faults);
+            }
+        });
+    }
+
     /// Merges another rank's stats (used for cluster-wide maxima/averages).
     pub fn merge_max(&mut self, other: &Stats) {
         for (c, t) in &other.time {
@@ -182,6 +294,15 @@ impl Stats {
     }
 }
 
+/// Format an `f64` for JSON (non-finite values become `null`).
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
 /// Immutable end-of-run report for one rank.
 #[derive(Clone, Debug)]
 pub struct RankReport {
@@ -191,6 +312,21 @@ pub struct RankReport {
     pub virtual_time: f64,
     /// Collected statistics.
     pub stats: Stats,
+}
+
+impl RankReport {
+    /// One flat JSON object per rank: `rank`, `virtual_time_s`, then
+    /// every [`Stats::to_json`] field. Emitting one line per rank gives
+    /// a JSONL stream directly loadable by analysis scripts.
+    pub fn to_json(&self) -> String {
+        let stats = self.stats.to_json();
+        format!(
+            "{{\"rank\": {}, \"virtual_time_s\": {}, {}",
+            self.rank,
+            fmt_json_f64(self.virtual_time),
+            &stats[1..],
+        )
+    }
 }
 
 #[cfg(test)]
@@ -248,5 +384,59 @@ mod tests {
         assert_eq!(Category::TABLE1.len(), 6);
         assert_eq!(Category::TABLE1[0], Category::Alltoallv);
         assert_eq!(Category::TABLE1[5], Category::Bcast);
+    }
+
+    #[test]
+    fn json_dump_is_flat_and_complete() {
+        let mut s = Stats::default();
+        s.add_time(Category::Allreduce, 1.25);
+        s.add_time(Category::Compute, 3.0);
+        s.bytes_sent = 4096;
+        s.overlap_total_s = 2.0;
+        s.overlap_hidden_s = 1.0;
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        // Flat: exactly one object, no nesting.
+        assert_eq!(j.matches('{').count(), 1);
+        assert!(j.contains("\"time_allreduce_s\": 1.25"));
+        assert!(j.contains("\"n_allreduce\": 1"));
+        assert!(j.contains("\"time_compute_s\": 3"));
+        assert!(j.contains("\"comm_s\": 1.25"));
+        assert!(j.contains("\"bytes_sent\": 4096"));
+        assert!(j.contains("\"overlap_efficiency\": 0.5"));
+        // Every category appears even when untouched.
+        for cat in Category::ALL {
+            assert!(j.contains(&format!("\"time_{}_s\":", cat.key())), "{cat} missing");
+        }
+
+        let rep = RankReport { rank: 7, virtual_time: 0.5, stats: s };
+        let rj = rep.to_json();
+        assert!(rj.starts_with("{\"rank\": 7, \"virtual_time_s\": 0.5, "));
+        assert!(rj.ends_with('}'));
+        assert_eq!(rj.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn observability_bridge_records_per_rank_gauges() {
+        let mut s = Stats::default();
+        s.add_time(Category::Allreduce, 1.5);
+        s.intra_wire_s = 0.25;
+        s.faults_dropped = 2;
+        // Disabled: must be a no-op.
+        pwobs::set_enabled(false);
+        s.record_observability(987654);
+        assert_eq!(pwobs::global().gauge("rank987654/comm_s"), None);
+
+        // An improbable rank key keeps concurrent tests (which may also
+        // run with the recorder enabled) from colliding with these
+        // assertions.
+        pwobs::set_enabled(true);
+        s.record_observability(987654);
+        let rec = pwobs::global();
+        assert_eq!(rec.gauge("rank987654/comm/allreduce_s"), Some(1.5));
+        assert_eq!(rec.gauge("rank987654/comm_s"), Some(1.5));
+        assert_eq!(rec.gauge("rank987654/wire_intra_s"), Some(0.25));
+        assert_eq!(rec.counter("rank987654/faults"), 2);
+        pwobs::set_enabled(false);
     }
 }

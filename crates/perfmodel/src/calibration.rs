@@ -32,6 +32,7 @@ fn speedup(pf: &Platform, atoms: usize, nodes: usize, from: Variant, to: Variant
 // The anchor ledger reads best as one push per paper claim.
 #[allow(clippy::vec_init_then_push)]
 pub fn report() -> Vec<Anchor> {
+    let _s = pwobs::span("model.calibration_report");
     let arm = Platform::fugaku_arm();
     let gpu = Platform::gpu_a100();
     let mut rows = Vec::new();

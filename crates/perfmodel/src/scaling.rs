@@ -20,6 +20,7 @@ pub struct ScalePoint {
 /// Strong scaling: fixed workload, growing node counts
 /// (Fig. 10: 768 atoms on ARM, 1536 on GPU, fully optimized code).
 pub fn strong_scaling(pf: &Platform, n_atoms: usize, node_counts: &[usize]) -> Vec<ScalePoint> {
+    let _s = pwobs::span("model.strong_scaling");
     let w = Workload::silicon(n_atoms);
     node_counts
         .iter()

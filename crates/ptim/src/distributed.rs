@@ -522,6 +522,7 @@ pub fn dist_ptim_step(
     max_scf: usize,
     tol_rho: f64,
 ) -> (DistState, StepStats) {
+    let _s = pwobs::span("step.dist");
     let ng = sys.grid.len();
     let ne = SPIN_FACTOR * state.sigma.trace().re;
     let dv = sys.grid.dv();

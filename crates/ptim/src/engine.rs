@@ -150,6 +150,7 @@ impl<'s> TdEngine<'s> {
 
     /// Evaluates density, potentials and natural orbitals at `(Φ, σ, t)`.
     pub fn eval(&self, phi: &Wavefunction, sigma: &CMat, t: f64) -> EvalPoint {
+        let _s = pwobs::span("grid.eval");
         let be = &*self.backend;
         let nat = natural_orbitals_with(be, phi, sigma);
         let rho = density_from_natural_with(be, &self.sys.grid, &self.sys.fft, &nat);

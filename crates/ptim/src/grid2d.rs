@@ -197,6 +197,7 @@ pub fn ring_overlap_fock_apply(
     psi_local: &[Complex64],
     solve_cost_s: f64,
 ) -> (Vec<Complex64>, RingOverlapReport) {
+    let _s = pwobs::span("xch.ring_overlap");
     assert_eq!(pgrid.size(), comm.size(), "process grid does not match the communicator");
     assert_eq!(bands.n_ranks, pgrid.band_groups, "band distribution must span band groups");
     let (my_group, my_grid_rank) = pgrid.coords(comm.rank());

@@ -55,6 +55,19 @@ pub struct StepStats {
     /// [`resilience::run`](crate::resilience::run) driver (the step that
     /// finally succeeded after a restore carries the count).
     pub recovery_restores: usize,
+    /// High-water mark of the backend buffer pools (fp64 + fp32 arenas,
+    /// bytes) as of the end of this step — the engine-lifetime peak from
+    /// [`Backend::pool_stats`], not
+    /// a per-step delta (pools only grow, so the last step's value is
+    /// the run's working-set peak).
+    pub pool_peak_bytes: usize,
+}
+
+/// Backend pool high-water mark (fp64 + fp32 arenas, bytes) — the value
+/// every propagator stamps into [`StepStats::pool_peak_bytes`].
+pub(crate) fn pool_peak_bytes(eng: &crate::engine::TdEngine<'_>) -> usize {
+    let ps = eng.backend.pool_stats();
+    ps.fp64.peak_bytes + ps.fp32.peak_bytes
 }
 
 /// True when the engine's policy asks the propagators to measure the
@@ -83,6 +96,7 @@ pub fn step_with_drift_guard<'s, F>(
 where
     F: Fn(&crate::engine::TdEngine<'s>) -> (TdState, StepStats),
 {
+    let _s = pwobs::span("step.guard");
     let (next, stats) = step(eng);
     let policy = eng.hybrid.fock.precision;
     if eng.hybrid.alpha == 0.0 || !policy.monitors_drift() {
@@ -143,6 +157,7 @@ pub fn pt_update(
     sigma_mid: &CMat,
     dt: f64,
 ) -> (Wavefunction, CMat) {
+    let _s = pwobs::span("gemm.pt_update");
     let ng = phi_mid.ng;
     let be = &*h.backend;
     let hphi = h.apply(phi_mid);

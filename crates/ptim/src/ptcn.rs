@@ -83,6 +83,7 @@ pub fn ptcn_step(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState,
 
 /// One unguarded PT-CN step (the drift monitor wraps this).
 fn ptcn_step_once(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState, StepStats) {
+    let _s = pwobs::span("step.ptcn");
     let solve_snap = eng.counters.snapshot();
     let start_err = crate::propagate::monitor_active(eng)
         .then(|| state.orthonormality_error());
@@ -144,6 +145,7 @@ fn ptcn_step_once(eng: &TdEngine, state: &TdState, cfg: &PtcnConfig) -> (TdState
         stats.orthonormality_drift = (next.orthonormality_error() - e0).max(0.0);
     }
     (stats.fock_solves_fp64, stats.fock_solves_fp32) = eng.counters.since(solve_snap);
+    stats.pool_peak_bytes = crate::propagate::pool_peak_bytes(eng);
     next.phi.orthonormalize_lowdin();
     (next, stats)
 }

@@ -59,6 +59,7 @@ pub fn ptim_step(eng: &TdEngine, state: &TdState, cfg: &PtimConfig) -> (TdState,
 
 /// One unguarded PT-IM step (the drift monitor wraps this).
 fn ptim_step_once(eng: &TdEngine, state: &TdState, cfg: &PtimConfig) -> (TdState, StepStats) {
+    let _s = pwobs::span("step.ptim");
     let solve_snap = eng.counters.snapshot();
     let start_err = crate::propagate::monitor_active(eng)
         .then(|| state.orthonormality_error());
@@ -120,6 +121,7 @@ fn ptim_step_once(eng: &TdEngine, state: &TdState, cfg: &PtimConfig) -> (TdState
         stats.orthonormality_drift = (next.orthonormality_error() - e0).max(0.0);
     }
     (stats.fock_solves_fp64, stats.fock_solves_fp32) = eng.counters.since(solve_snap);
+    stats.pool_peak_bytes = crate::propagate::pool_peak_bytes(eng);
     next.enforce_constraints();
     (next, stats)
 }

@@ -74,6 +74,7 @@ fn ptim_ace_step_once(
     state: &TdState,
     cfg: &PtimAceConfig,
 ) -> (TdState, StepStats) {
+    let _s = pwobs::span("step.ptim_ace");
     assert!(eng.hybrid.alpha != 0.0, "PT-IM-ACE requires a hybrid functional");
     let solve_snap = eng.counters.snapshot();
     let start_err = crate::propagate::monitor_active(eng)
@@ -144,6 +145,7 @@ fn ptim_ace_step_once(
         stats.orthonormality_drift = (next.orthonormality_error() - e0).max(0.0);
     }
     (stats.fock_solves_fp64, stats.fock_solves_fp32) = eng.counters.since(solve_snap);
+    stats.pool_peak_bytes = crate::propagate::pool_peak_bytes(eng);
     next.enforce_constraints();
     (next, stats)
 }

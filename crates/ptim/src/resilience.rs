@@ -195,6 +195,7 @@ impl Checkpoint {
         propagator: &Propagator,
         laser: &LaserPulse,
     ) -> std::io::Result<PathBuf> {
+        let _s = pwobs::span("ckpt.write");
         std::fs::create_dir_all(dir)?;
         let n = state.n_bands();
         let ng = state.phi.ng;
@@ -225,6 +226,7 @@ impl Checkpoint {
     /// expected `(Φ, σ)` shapes (any state of the restarting run); the
     /// file is rejected on magic/version/checksum/shape mismatch.
     pub fn load(path: &Path, template: &TdState) -> Result<Checkpoint, CheckpointError> {
+        let _s = pwobs::span("ckpt.restore");
         let bytes = std::fs::read(path)?;
         if bytes.len() < 8 {
             return Err(CheckpointError::Truncated);
@@ -438,6 +440,7 @@ fn accumulate(agg: &mut StepStats, s: &StepStats, first: bool) {
     agg.fock_solves_fp32 += s.fock_solves_fp32;
     agg.orthonormality_drift = agg.orthonormality_drift.max(s.orthonormality_drift);
     agg.precision_promotions += s.precision_promotions;
+    agg.pool_peak_bytes = agg.pool_peak_bytes.max(s.pool_peak_bytes);
 }
 
 /// One propagator step under the [`RecoveryPolicy`] ladder:
@@ -533,6 +536,14 @@ pub struct RunReport {
     pub checkpoints_written: usize,
     /// Checkpoint restores performed.
     pub restores: usize,
+    /// Wall time spent writing checkpoints (save + prune), seconds — the
+    /// resilience overhead a cadence choice buys.
+    pub checkpoint_write_s: f64,
+    /// Wall time spent restoring from checkpoints, seconds.
+    pub restore_s: f64,
+    /// High-water mark of the backend buffer pools over the surviving
+    /// step history (max of [`StepStats::pool_peak_bytes`]).
+    pub pool_peak_bytes: usize,
 }
 
 /// Steps `start` from `start_step` to `end_step` under the engine's
@@ -558,6 +569,8 @@ pub fn run<'s>(
     let mut steps: Vec<StepStats> = Vec::new();
     let mut checkpoints_written = 0usize;
     let mut restores = 0usize;
+    let mut checkpoint_write_s = 0.0f64;
+    let mut restore_s = 0.0f64;
     let mut pending_restores = 0usize;
     let mut restored_at: Option<u64> = None;
     let mut step = start_step;
@@ -571,10 +584,12 @@ pub fn run<'s>(
                 steps.push(stats);
                 if let Some(pol) = &eng.checkpoints {
                     if pol.interval_steps > 0 && step.is_multiple_of(pol.interval_steps) {
+                        let t0 = std::time::Instant::now();
                         Checkpoint::save(&pol.dir, step, &state, prop, &eng.laser)
                             .map_err(RunError::Io)?;
                         Checkpoint::prune(&pol.dir, pol.keep_last.max(1))
                             .map_err(RunError::Io)?;
+                        checkpoint_write_s += t0.elapsed().as_secs_f64();
                         checkpoints_written += 1;
                     }
                 }
@@ -582,9 +597,13 @@ pub fn run<'s>(
             Err(source) => {
                 let restorable = recovery.restore_checkpoint && restored_at != Some(step);
                 let loaded = if restorable {
-                    eng.checkpoints
+                    let t0 = std::time::Instant::now();
+                    let ck = eng
+                        .checkpoints
                         .as_ref()
-                        .and_then(|pol| Checkpoint::load_latest(&pol.dir, start).ok().flatten())
+                        .and_then(|pol| Checkpoint::load_latest(&pol.dir, start).ok().flatten());
+                    restore_s += t0.elapsed().as_secs_f64();
+                    ck
                 } else {
                     None
                 };
@@ -603,7 +622,16 @@ pub fn run<'s>(
             }
         }
     }
-    Ok(RunReport { state, steps, checkpoints_written, restores })
+    let pool_peak_bytes = steps.iter().map(|s| s.pool_peak_bytes).max().unwrap_or(0);
+    Ok(RunReport {
+        state,
+        steps,
+        checkpoints_written,
+        restores,
+        checkpoint_write_s,
+        restore_s,
+        pool_peak_bytes,
+    })
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ pub fn rk4_step(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, S
 
 /// One unguarded RK4 step (the drift monitor wraps this).
 fn rk4_step_once(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, StepStats) {
+    let _s = pwobs::span("step.rk4");
     let solve_snap = eng.counters.snapshot();
     let start_err = crate::propagate::monitor_active(eng)
         .then(|| state.orthonormality_error());
@@ -101,6 +102,7 @@ fn rk4_step_once(eng: &TdEngine, state: &TdState, cfg: &Rk4Config) -> (TdState, 
             .unwrap_or(0.0),
         fock_solves_fp64: fp64s,
         fock_solves_fp32: fp32s,
+        pool_peak_bytes: crate::propagate::pool_peak_bytes(eng),
         ..Default::default()
     };
     (next, stats)

@@ -67,6 +67,7 @@ impl TdState {
     /// PT-IM step (Alg. 1 line 13): Löwdin-orthonormalize Φ and
     /// conjugate-symmetrize σ.
     pub fn enforce_constraints(&mut self) {
+        let _s = pwobs::span("gemm.constraints");
         self.phi.orthonormalize_lowdin();
         self.sigma = self.sigma.hermitian_part();
     }

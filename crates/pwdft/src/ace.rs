@@ -76,6 +76,7 @@ impl AceOperator {
         w: &Wavefunction,
         gemm_stage: StagePrecision,
     ) -> AceOperator {
+        let _s = pwobs::span("xch.ace_build");
         assert_eq!(phi.n_bands, w.n_bands);
         assert_eq!(phi.ng, w.ng);
         let m = phi.overlap_with(&*backend, w); // M = Φ^H W
@@ -131,6 +132,7 @@ impl AceOperator {
     /// `out_j += -scale · Σ_k ξ_k <ξ_k|ψ_j>`. `scale` carries the hybrid
     /// mixing fraction α.
     pub fn apply_add(&self, psi: &Wavefunction, scale: f64, out: &mut [Complex64]) {
+        let _s = pwobs::span("xch.ace_apply");
         assert_eq!(psi.ng, self.xi.ng);
         assert_eq!(out.len(), psi.data.len());
         if self.gemm_stage.reduced() {

@@ -98,6 +98,7 @@ pub fn natural_orbitals_with(
     phi: &Wavefunction,
     sigma: &CMat,
 ) -> NaturalOrbitals {
+    let _s = pwobs::span("gemm.natural_orbitals");
     let e = eigh(sigma);
     let rotated = phi.rotated_with(backend, &e.vectors);
     NaturalOrbitals { phi: rotated, occ: e.values, q: e.vectors }

@@ -372,6 +372,7 @@ impl<'g> FockOperator<'g> {
     /// Poisson solve recomputed inside the `i` loop — is kept deliberately
     /// to reproduce the baseline's O(N³ Ng log Ng) cost profile.
     pub fn apply_mixed_baseline(&self, phi_r: &[Complex64], sigma: &CMat) -> Vec<Complex64> {
+        let _s = pwobs::span("xch.apply_baseline");
         let ng = self.ng();
         let n = bands::n_bands(phi_r, ng);
         assert_eq!(sigma.rows(), n);
@@ -435,6 +436,7 @@ impl<'g> FockOperator<'g> {
         d: &[f64],
         psi_r: &[Complex64],
     ) -> (Vec<Complex64>, FockApplyStats) {
+        let _s = pwobs::span("xch.apply");
         let symmetric =
             phi_r.as_ptr() == psi_r.as_ptr() && phi_r.len() == psi_r.len();
         if symmetric {
@@ -922,6 +924,7 @@ impl<'g> FockOperator<'g> {
         vx_phi_r: &[Complex64],
         dv: f64,
     ) -> f64 {
+        let _s = pwobs::span("xch.energy");
         let ng = self.ng();
         let n = bands::n_bands(phi_r, ng);
         let mut e = 0.0;

@@ -46,6 +46,7 @@ impl AndersonMixer {
     /// Given the current iterate `x` and its image `tx = T(x)`, returns
     /// the next iterate.
     pub fn step(&mut self, x: &[Complex64], tx: &[Complex64]) -> Vec<Complex64> {
+        let _s = pwobs::span("gemm.anderson");
         assert_eq!(x.len(), tx.len());
         let r: Vec<Complex64> = tx.iter().zip(x).map(|(t, xi)| *t - *xi).collect();
 

@@ -140,11 +140,13 @@ impl Fft3 {
 
     /// Forward 3D transform, in place (unnormalized).
     pub fn forward(&self, data: &mut [Complex64]) {
+        let _s = pwobs::span("fft.forward");
         self.transform(data, false);
     }
 
     /// Inverse 3D transform, in place (normalized by `1/len`).
     pub fn inverse(&self, data: &mut [Complex64]) {
+        let _s = pwobs::span("fft.inverse");
         self.transform(data, true);
     }
 
@@ -265,6 +267,10 @@ impl Fft3 {
         if count == 0 {
             return;
         }
+        // Spanned here rather than through a backend: this is the
+        // thread-pool batched path that does not route via
+        // `Backend::transform_batch`.
+        let _s = pwobs::span("fft.many");
         let n = self.len();
         par_chunks_mut(data, n, |_, grid| self.transform(grid, inverse));
     }

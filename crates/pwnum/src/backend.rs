@@ -409,23 +409,29 @@ pub type BackendHandle = Arc<dyn Backend>;
 /// `PWDFT_BACKEND` environment variable (`reference` or `blocked`;
 /// default `blocked`). Layers that are not handed an explicit
 /// [`BackendHandle`] route through this.
+///
+/// The handle is wrapped in the [`crate::traced::Traced`] observability
+/// decorator, so every primitive carries a `pwobs` span — a single
+/// relaxed atomic load per call while the recorder is disabled.
 pub fn default_backend() -> &'static BackendHandle {
     static DEFAULT: OnceLock<BackendHandle> = OnceLock::new();
     DEFAULT.get_or_init(|| match std::env::var("PWDFT_BACKEND") {
         Ok(name) => by_name(&name).unwrap_or_else(|| {
             panic!("PWDFT_BACKEND={name:?} is not a known backend (reference|blocked)")
         }),
-        Err(_) => Arc::new(Blocked::new()) as BackendHandle,
+        Err(_) => crate::traced::Traced::wrap(Arc::new(Blocked::new())),
     })
 }
 
-/// Looks a backend up by name (`"reference"` or `"blocked"`).
+/// Looks a backend up by name (`"reference"` or `"blocked"`), wrapped
+/// in the observability decorator (see [`default_backend`]).
 pub fn by_name(name: &str) -> Option<BackendHandle> {
-    match name {
-        "reference" => Some(Arc::new(Reference)),
-        "blocked" => Some(Arc::new(Blocked::new())),
-        _ => None,
-    }
+    let inner: BackendHandle = match name {
+        "reference" => Arc::new(Reference),
+        "blocked" => Arc::new(Blocked::new()),
+        _ => return None,
+    };
+    Some(crate::traced::Traced::wrap(inner))
 }
 
 // ---------------------------------------------------------------------

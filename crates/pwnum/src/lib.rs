@@ -49,6 +49,7 @@ pub mod lstsq;
 pub mod parallel;
 pub mod persist;
 pub mod precision;
+pub mod traced;
 pub mod tuning;
 
 pub use backend::{Backend, BackendHandle, PairTask};

@@ -548,17 +548,17 @@ mod tests {
 
     #[test]
     fn median_wall_secs_is_positive_and_monotonic_in_work() {
-        // Median-of-5 and a ~100x work gap keep this robust against
-        // scheduler-noise spikes on a loaded single-core box: a spike
-        // would have to hit three of the five quick samples and push
-        // each past the multi-millisecond slow median to flip the
-        // comparison.
-        let quick = median_wall_secs(5, || {
+        // The slow body must defeat const-folding (LLVM knows the
+        // closed form of Σi²), so every iteration is pinned with a
+        // `black_box`: milliseconds of genuine work vs ~ns quick
+        // samples, robust to scheduler-noise spikes on a loaded box.
+        let quick = median_wall_secs(9, || {
             std::hint::black_box(0);
         });
         let mut acc = 0u64;
-        let slow = median_wall_secs(5, || {
+        let slow = median_wall_secs(3, || {
             for i in 0..2_000_000u64 {
+                let i = std::hint::black_box(i);
                 acc = acc.wrapping_add(i * i);
             }
             std::hint::black_box(acc);

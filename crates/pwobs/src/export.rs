@@ -1,0 +1,358 @@
+//! Exporters: chrome://tracing timeline, Fig. 9-style phase table, and
+//! the JSONL per-step metrics stream.
+
+use crate::{Phase, Recorder, SpanStat};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for JSON: finite values as-is, non-finite as `null`
+/// (bare `NaN`/`inf` are not valid JSON).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace timeline
+// ---------------------------------------------------------------------------
+
+/// Serialize the recorder's timeline as chrome://tracing "trace event
+/// format" JSON (complete `"X"` events; timestamps/durations in
+/// microseconds). Load the result in `chrome://tracing` or Perfetto.
+///
+/// Events are sorted by `(tid, ts)` so output is deterministic for a
+/// given set of recorded spans. Aggregate counters and gauges ride along
+/// under `"otherData"`.
+pub fn chrome_trace_json(rec: &Recorder) -> String {
+    let mut events = rec.timeline();
+    events.sort_by_key(|e| (e.tid, e.start_ns));
+
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}}}",
+            json_escape(e.name),
+            Phase::classify(e.name).label(),
+            e.tid,
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+        );
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\", \"otherData\": {");
+    let mut first = true;
+    for (k, v) in rec.counters() {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{}\": {}", json_escape(&k), v);
+    }
+    for (k, v) in rec.gauges() {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{}\": {}", json_escape(&k), json_f64(v));
+    }
+    if rec.dropped_events() > 0 {
+        if !first {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"pwobs_dropped_events\": {}", rec.dropped_events());
+    }
+    out.push_str("}}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Per-phase breakdown (Fig. 9-style)
+// ---------------------------------------------------------------------------
+
+/// One row of the per-phase breakdown.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseRow {
+    /// Which component this row aggregates.
+    pub phase: Phase,
+    /// Total *self* time (seconds) of all spans classified into it.
+    pub self_s: f64,
+    /// Completed span count.
+    pub calls: u64,
+}
+
+/// Aggregate span self-time by phase, in [`Phase::ALL`] display order.
+/// Rows with no recorded spans are included with zeros so table shape
+/// is stable.
+pub fn phase_breakdown(rec: &Recorder) -> Vec<PhaseRow> {
+    let stats: Vec<(&'static str, SpanStat)> = rec.span_stats();
+    Phase::ALL
+        .iter()
+        .map(|&phase| {
+            let (mut self_ns, mut calls) = (0u64, 0u64);
+            for (name, s) in &stats {
+                if Phase::classify(name) == phase {
+                    self_ns += s.self_ns;
+                    calls += s.calls;
+                }
+            }
+            PhaseRow { phase, self_s: self_ns as f64 * 1e-9, calls }
+        })
+        .collect()
+}
+
+/// Fraction of `total_s` attributed to the paper's four component rows
+/// (FFT+grid, GEMM/subspace, exchange, comm). The observability
+/// acceptance gate requires this ≥ 0.95 for an instrumented serial run.
+pub fn tracked_fraction(rec: &Recorder, total_s: f64) -> f64 {
+    if total_s <= 0.0 {
+        return 0.0;
+    }
+    let core = [Phase::Fft, Phase::Gemm, Phase::Exchange, Phase::Comm];
+    let sum: f64 = phase_breakdown(rec)
+        .iter()
+        .filter(|r| core.contains(&r.phase))
+        .map(|r| r.self_s)
+        .sum();
+    sum / total_s
+}
+
+/// Render the Fig. 9-style component table against a measured wall time
+/// `total_s` (the caller times the stepped region; rows are span self
+/// time, `untracked` is the remainder).
+pub fn phase_table(rec: &Recorder, total_s: f64) -> String {
+    let rows = phase_breakdown(rec);
+    let tracked: f64 = rows.iter().map(|r| r.self_s).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>12} {:>8} {:>10}", "phase", "self [s]", "share", "calls");
+    let _ = writeln!(out, "{}", "-".repeat(48));
+    for r in &rows {
+        if r.calls == 0 && r.self_s == 0.0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12.6} {:>7.2}% {:>10}",
+            r.phase.label(),
+            r.self_s,
+            100.0 * r.self_s / total_s.max(1e-300),
+            r.calls,
+        );
+    }
+    let untracked = (total_s - tracked).max(0.0);
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12.6} {:>7.2}% {:>10}",
+        "untracked",
+        untracked,
+        100.0 * untracked / total_s.max(1e-300),
+        "-",
+    );
+    let _ = writeln!(out, "{}", "-".repeat(48));
+    let _ = writeln!(out, "{:<14} {:>12.6} {:>7.2}% ", "total (wall)", total_s, 100.0);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL per-step metrics stream
+// ---------------------------------------------------------------------------
+
+/// One JSON value in a [`StepRecord`].
+#[derive(Clone, Debug)]
+enum JsonVal {
+    U(u64),
+    F(f64),
+    B(bool),
+    S(String),
+}
+
+/// An ordered flat JSON object describing one propagation step —
+/// build with the fluent setters, serialize with
+/// [`StepRecord::to_json`], stream with [`StepStream`].
+#[derive(Clone, Debug, Default)]
+pub struct StepRecord {
+    fields: Vec<(String, JsonVal)>,
+}
+
+impl StepRecord {
+    /// Start a record for step index `step`.
+    pub fn new(step: u64) -> Self {
+        StepRecord { fields: vec![("step".to_owned(), JsonVal::U(step))] }
+    }
+
+    /// Append an unsigned integer field.
+    pub fn u(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_owned(), JsonVal::U(v)));
+        self
+    }
+
+    /// Append a float field.
+    pub fn f(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.to_owned(), JsonVal::F(v)));
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn b(mut self, key: &str, v: bool) -> Self {
+        self.fields.push((key.to_owned(), JsonVal::B(v)));
+        self
+    }
+
+    /// Append a string field.
+    pub fn s(mut self, key: &str, v: &str) -> Self {
+        self.fields.push((key.to_owned(), JsonVal::S(v.to_owned())));
+        self
+    }
+
+    /// Serialize as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": ", json_escape(k));
+            match v {
+                JsonVal::U(u) => {
+                    let _ = write!(out, "{u}");
+                }
+                JsonVal::F(f) => out.push_str(&json_f64(*f)),
+                JsonVal::B(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                JsonVal::S(s) => {
+                    let _ = write!(out, "\"{}\"", json_escape(s));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Line-per-step JSONL writer — the streaming seam for the future
+/// multi-trajectory service: point it at a file, a pipe, or an
+/// in-memory buffer and emit one [`StepRecord`] per step as it
+/// completes (no collect-at-end).
+pub struct StepStream<W: Write> {
+    w: W,
+    lines: u64,
+}
+
+impl<W: Write> StepStream<W> {
+    /// Wrap a writer.
+    pub fn new(w: W) -> Self {
+        StepStream { w, lines: 0 }
+    }
+
+    /// Write one record as a JSON line and flush (subscribers tail the
+    /// stream live).
+    pub fn emit(&mut self, rec: &StepRecord) -> io::Result<()> {
+        self.w.write_all(rec.to_json().as_bytes())?;
+        self.w.write_all(b"\n")?;
+        self.w.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Records emitted so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Recover the inner writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn step_record_serializes_in_insertion_order() {
+        let r = StepRecord::new(3).f("wall_s", 0.25).u("scf_iters", 7).b("converged", true).s(
+            "propagator",
+            "ptim_ace",
+        );
+        assert_eq!(
+            r.to_json(),
+            "{\"step\": 3, \"wall_s\": 0.25, \"scf_iters\": 7, \
+             \"converged\": true, \"propagator\": \"ptim_ace\"}"
+        );
+    }
+
+    #[test]
+    fn step_stream_emits_one_line_per_record() {
+        let mut s = StepStream::new(Vec::new());
+        s.emit(&StepRecord::new(0).f("wall_s", 0.5)).unwrap();
+        s.emit(&StepRecord::new(1).f("wall_s", f64::NAN)).unwrap();
+        assert_eq!(s.lines(), 2);
+        let text = String::from_utf8(s.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"wall_s\": null"));
+    }
+
+    #[test]
+    fn phase_table_accounts_untracked_remainder() {
+        let r = Recorder::new();
+        r.record_span("fft.transform_batch", 400_000_000, 400_000_000, 0, 1);
+        r.record_span("xch.fused_pair_solve", 500_000_000, 500_000_000, 0, 1);
+        let table = phase_table(&r, 1.0);
+        assert!(table.contains("fft+grid"));
+        assert!(table.contains("exchange"));
+        assert!(table.contains("untracked"));
+        let frac = tracked_fraction(&r, 1.0);
+        assert!((frac - 0.9).abs() < 1e-12, "{frac}");
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_escaped() {
+        let r = Recorder::new();
+        r.record_span("gemm.gemm", 2_000, 2_000, 5_000, 2);
+        r.record_span("fft.transform_batch", 1_000, 1_000, 1_000, 1);
+        r.counter_add("fock.solves", 4);
+        let a = chrome_trace_json(&r);
+        let b = chrome_trace_json(&r);
+        assert_eq!(a, b);
+        // tid 1 sorts before tid 2 regardless of recording order.
+        let i_fft = a.find("fft.transform_batch").unwrap();
+        let i_gemm = a.find("gemm.gemm").unwrap();
+        assert!(i_fft < i_gemm);
+        assert!(a.contains("\"fock.solves\": 4"));
+    }
+}

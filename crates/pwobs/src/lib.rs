@@ -1,0 +1,561 @@
+//! # pwobs — unified tracing, metrics, and profiling
+//!
+//! The paper's core evidence is *per-phase time attribution*: component
+//! breakdowns of FFT / GEMM / exchange / communication time (Figs. 9–11).
+//! This crate is the single registry every layer of the reproduction
+//! reports into:
+//!
+//! * **Scoped spans** ([`span`]) — RAII guards with thread-safe
+//!   aggregation by name: call count, total wall time, and *self* time
+//!   (total minus time spent in child spans on the same thread).
+//! * **Counters and gauges** ([`counter_add`], [`gauge_set`],
+//!   [`gauge_add`]) — monotonic event counts and point-in-time values,
+//!   keyed by string (distributed code uses `rank{r}/...` keys).
+//! * **A global [`Recorder`]** that is a no-op unless enabled: the
+//!   disabled fast path is a single relaxed atomic load, no allocation,
+//!   no clock read (see `tests/zero_alloc.rs`). Enable explicitly with
+//!   [`set_enabled`] or via the `PWOBS` environment variable.
+//!
+//! Three exporters live in [`export`]:
+//!
+//! 1. [`export::chrome_trace_json`] — a chrome://tracing-compatible JSON
+//!    timeline (open in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)),
+//! 2. [`export::phase_table`] — the flat Fig. 9-style per-phase
+//!    breakdown (FFT / GEMM / exchange / comm rows summing to the step
+//!    wall time),
+//! 3. [`export::StepStream`] — a JSONL per-step metrics stream, the
+//!    seam the future multi-trajectory service subscribes to.
+//!
+//! ## Span naming convention
+//!
+//! Span names are `"<phase>.<site>"` where the leading dot-component
+//! selects the Fig. 9 phase row (see [`Phase::classify`]):
+//!
+//! | prefix          | phase row        | examples |
+//! |-----------------|------------------|----------|
+//! | `fft.`, `grid.` | FFT + grid ops   | `fft.transform_batch`, `grid.eval` |
+//! | `gemm.`         | GEMM / subspace  | `gemm.gemm`, `gemm.anderson`, `gemm.eigh` |
+//! | `xch.`          | exact exchange   | `xch.fused_pair_solve`, `xch.ace_build` |
+//! | `comm.`         | communication    | `comm.allreduce`, `comm.recv` |
+//! | `step.`         | propagator glue  | `step.ptim`, `step.guard` |
+//! | `ckpt.`         | resilience I/O   | `ckpt.write`, `ckpt.restore` |
+//!
+//! Self-time decomposition is exact per thread: the sum of `self` time
+//! over all spans recorded on a thread equals the total wall time of
+//! that thread's root spans, so phase rows partition the measured run
+//! time with no double counting.
+
+pub mod export;
+
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Maximum retained timeline events; further spans still aggregate but
+/// their timeline entries are dropped (counted in
+/// [`Recorder::dropped_events`]). Bounds trace memory on long runs.
+pub const MAX_TIMELINE_EVENTS: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Global enable state
+// ---------------------------------------------------------------------------
+
+/// 0 = not yet initialised (consult `PWOBS` env), 1 = disabled, 2 = enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+#[inline]
+fn state() -> u8 {
+    let s = STATE.load(Ordering::Relaxed);
+    if s == 0 {
+        init_from_env()
+    } else {
+        s
+    }
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let on = std::env::var_os("PWOBS").is_some_and(|v| v != "0" && !v.is_empty());
+    let s = if on { 2 } else { 1 };
+    // `compare_exchange` so an explicit `set_enabled` racing with lazy
+    // env init wins deterministically.
+    match STATE.compare_exchange(0, s, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => s,
+        Err(cur) => cur,
+    }
+}
+
+/// Is the global recorder currently capturing?
+#[inline]
+pub fn enabled() -> bool {
+    state() == 2
+}
+
+/// Turn the global recorder on or off. Spans opened while disabled are
+/// never recorded, even if they close after enabling (and vice versa a
+/// span opened while enabled records on drop regardless).
+pub fn set_enabled(on: bool) {
+    if on {
+        // Materialise the epoch and registry outside any span so first
+        // use is not attributed to user code.
+        let _ = epoch();
+        let _ = global();
+    }
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Thread identity and span stack
+// ---------------------------------------------------------------------------
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+struct Frame {
+    child_ns: u64,
+}
+
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(0) };
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Small stable per-thread id (1, 2, ...) in spawn order of first span.
+fn thread_id() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------------
+
+/// Fig. 9-style component classification of a span name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Grid transforms and grid-local elementwise physics (density
+    /// accumulation, potentials, Hadamard products).
+    Fft,
+    /// Band-space dense algebra: GEMMs, overlaps, rotations,
+    /// eigensolves, Anderson mixing, Löwdin constraints.
+    Gemm,
+    /// Exact-exchange pair work (fused pair solves, ACE builds).
+    Exchange,
+    /// Communication (simulated MPI wait/wire time).
+    Comm,
+    /// Propagator control flow (`step.*` spans' self time).
+    Step,
+    /// Checkpoint/restore I/O.
+    Checkpoint,
+    /// Anything not matching the naming convention.
+    Other,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Fft,
+        Phase::Gemm,
+        Phase::Exchange,
+        Phase::Comm,
+        Phase::Step,
+        Phase::Checkpoint,
+        Phase::Other,
+    ];
+
+    /// Classify a span name by its leading dot-component.
+    pub fn classify(name: &str) -> Phase {
+        match name.split('.').next().unwrap_or("") {
+            "fft" | "grid" => Phase::Fft,
+            "gemm" => Phase::Gemm,
+            "xch" => Phase::Exchange,
+            "comm" => Phase::Comm,
+            "step" => Phase::Step,
+            "ckpt" => Phase::Checkpoint,
+            _ => Phase::Other,
+        }
+    }
+
+    /// Human-readable row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Fft => "fft+grid",
+            Phase::Gemm => "gemm/subspace",
+            Phase::Exchange => "exchange",
+            Phase::Comm => "comm",
+            Phase::Step => "step glue",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Other => "other",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans with this name.
+    pub calls: u64,
+    /// Total wall time, nanoseconds (inclusive of child spans).
+    pub total_ns: u64,
+    /// Wall time exclusive of same-thread child spans, nanoseconds.
+    pub self_ns: u64,
+}
+
+/// One timeline entry (a completed span) for the chrome-trace export.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Span name (static instrumentation-site label).
+    pub name: &'static str,
+    /// Small per-thread id.
+    pub tid: u32,
+    /// Start offset from the process trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Thread-safe span/counter/gauge registry. The process-wide instance
+/// is [`global`]; tests construct private instances to exercise
+/// aggregation without cross-test interference.
+#[derive(Default)]
+pub struct Recorder {
+    spans: Mutex<HashMap<&'static str, SpanStat>>,
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, f64>>,
+    timeline: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Recorder {
+    /// Fresh empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one completed span into the aggregate and the timeline.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        total_ns: u64,
+        self_ns: u64,
+        start_ns: u64,
+        tid: u32,
+    ) {
+        {
+            let mut m = self.spans.lock();
+            let e = m.entry(name).or_default();
+            e.calls += 1;
+            e.total_ns += total_ns;
+            e.self_ns += self_ns;
+        }
+        let mut t = self.timeline.lock();
+        if t.len() < MAX_TIMELINE_EVENTS {
+            t.push(TraceEvent { name, tid, start_ns, dur_ns: total_ns });
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut m = self.counters.lock();
+        match m.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                m.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut m = self.gauges.lock();
+        match m.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                m.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Add `delta` to the named gauge (creating it at `delta`).
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        let mut m = self.gauges.lock();
+        match m.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                m.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Raise the named gauge to `value` if below it (high-water mark).
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        let mut m = self.gauges.lock();
+        match m.get_mut(name) {
+            Some(v) => *v = v.max(value),
+            None => {
+                m.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Span aggregates, sorted by name (deterministic regardless of
+    /// thread interleaving).
+    pub fn span_stats(&self) -> Vec<(&'static str, SpanStat)> {
+        let mut v: Vec<_> = self.spans.lock().iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Aggregate for a single span name, if recorded.
+    pub fn span_stat(&self, name: &str) -> Option<SpanStat> {
+        self.spans.lock().get(name).copied()
+    }
+
+    /// Counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self.counters.lock().iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort();
+        v
+    }
+
+    /// Gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<_> = self.gauges.lock().iter().map(|(k, g)| (k.clone(), *g)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Value of one counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of one gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().get(name).copied()
+    }
+
+    /// Copy of the timeline (chronological per thread, interleaved
+    /// across threads in completion order).
+    pub fn timeline(&self) -> Vec<TraceEvent> {
+        self.timeline.lock().clone()
+    }
+
+    /// Number of retained timeline events.
+    pub fn timeline_len(&self) -> usize {
+        self.timeline.lock().len()
+    }
+
+    /// Timeline events discarded after [`MAX_TIMELINE_EVENTS`].
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total self time (seconds) attributed to `phase` across all spans.
+    pub fn phase_self_s(&self, phase: Phase) -> f64 {
+        let m = self.spans.lock();
+        m.iter()
+            .filter(|(name, _)| Phase::classify(name) == phase)
+            .map(|(_, s)| s.self_ns as f64 * 1e-9)
+            .sum()
+    }
+
+    /// Clear all aggregates, counters, gauges, and the timeline.
+    pub fn reset(&self) {
+        self.spans.lock().clear();
+        self.counters.lock().clear();
+        self.gauges.lock().clear();
+        self.timeline.lock().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide recorder all instrumentation reports into.
+pub fn global() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard returned by [`span`]; records on drop.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+/// Open a scoped span. When the recorder is disabled this is a single
+/// relaxed atomic load — no clock read, no allocation.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if state() != 2 {
+        return Span { name, start_ns: 0, active: false };
+    }
+    span_slow(name)
+}
+
+fn span_slow(name: &'static str) -> Span {
+    STACK.with(|s| s.borrow_mut().push(Frame { child_ns: 0 }));
+    Span { name, start_ns: now_ns(), active: true }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let total_ns = now_ns().saturating_sub(self.start_ns);
+        let child_ns = STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            let child = st.pop().map(|f| f.child_ns).unwrap_or(0);
+            if let Some(parent) = st.last_mut() {
+                parent.child_ns += total_ns;
+            }
+            child
+        });
+        global().record_span(
+            self.name,
+            total_ns,
+            total_ns.saturating_sub(child_ns),
+            self.start_ns,
+            thread_id(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter / gauge front doors (no-ops while disabled)
+// ---------------------------------------------------------------------------
+
+/// Add to a global monotonic counter; no-op while disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if state() == 2 {
+        global().counter_add(name, delta);
+    }
+}
+
+/// Set a global gauge; no-op while disabled.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if state() == 2 {
+        global().gauge_set(name, value);
+    }
+}
+
+/// Add to a global gauge; no-op while disabled.
+#[inline]
+pub fn gauge_add(name: &str, delta: f64) {
+    if state() == 2 {
+        global().gauge_add(name, delta);
+    }
+}
+
+/// Run `f` against the global recorder only when enabled. Use this at
+/// bridge points that would otherwise allocate key strings (e.g.
+/// per-rank `format!` keys) on the disabled path.
+#[inline]
+pub fn if_enabled(f: impl FnOnce(&Recorder)) {
+    if state() == 2 {
+        f(global());
+    }
+}
+
+/// Reset the global recorder (aggregates, counters, gauges, timeline).
+pub fn reset() {
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_follows_prefix_convention() {
+        assert_eq!(Phase::classify("fft.transform_batch"), Phase::Fft);
+        assert_eq!(Phase::classify("grid.eval"), Phase::Fft);
+        assert_eq!(Phase::classify("gemm.overlap32"), Phase::Gemm);
+        assert_eq!(Phase::classify("xch.fused_pair_solve"), Phase::Exchange);
+        assert_eq!(Phase::classify("comm.allreduce"), Phase::Comm);
+        assert_eq!(Phase::classify("step.ptim_ace"), Phase::Step);
+        assert_eq!(Phase::classify("ckpt.write"), Phase::Checkpoint);
+        assert_eq!(Phase::classify("mystery"), Phase::Other);
+        assert_eq!(Phase::classify(""), Phase::Other);
+    }
+
+    #[test]
+    fn recorder_aggregates_spans_counters_gauges() {
+        let r = Recorder::new();
+        r.record_span("gemm.gemm", 100, 60, 0, 1);
+        r.record_span("gemm.gemm", 50, 50, 200, 1);
+        r.record_span("fft.transform_batch", 40, 40, 100, 2);
+        let s = r.span_stat("gemm.gemm").unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_ns, 150);
+        assert_eq!(s.self_ns, 110);
+
+        r.counter_add("fock.solves", 3);
+        r.counter_add("fock.solves", 2);
+        assert_eq!(r.counter("fock.solves"), 5);
+
+        r.gauge_set("pool.peak_bytes", 1024.0);
+        r.gauge_max("pool.peak_bytes", 512.0);
+        assert_eq!(r.gauge("pool.peak_bytes"), Some(1024.0));
+        r.gauge_max("pool.peak_bytes", 4096.0);
+        assert_eq!(r.gauge("pool.peak_bytes"), Some(4096.0));
+        r.gauge_add("pool.peak_bytes", 4.0);
+        assert_eq!(r.gauge("pool.peak_bytes"), Some(4100.0));
+
+        assert_eq!(r.timeline_len(), 3);
+        assert_eq!(r.dropped_events(), 0);
+        let stats = r.span_stats();
+        assert_eq!(stats[0].0, "fft.transform_batch");
+        assert_eq!(stats[1].0, "gemm.gemm");
+
+        r.reset();
+        assert!(r.span_stats().is_empty());
+        assert_eq!(r.counter("fock.solves"), 0);
+        assert_eq!(r.timeline_len(), 0);
+    }
+
+    #[test]
+    fn phase_self_time_partitions_by_prefix() {
+        let r = Recorder::new();
+        r.record_span("fft.transform_batch", 100, 100, 0, 1);
+        r.record_span("grid.eval", 300, 80, 0, 1);
+        r.record_span("xch.fused_pair_solve", 500, 500, 0, 1);
+        assert!((r.phase_self_s(Phase::Fft) - 180e-9).abs() < 1e-15);
+        assert!((r.phase_self_s(Phase::Exchange) - 500e-9).abs() < 1e-15);
+        assert_eq!(r.phase_self_s(Phase::Comm), 0.0);
+    }
+}

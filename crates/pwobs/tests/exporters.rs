@@ -1,0 +1,265 @@
+//! Exporter round-trips: the chrome-trace output must be valid JSON
+//! with well-formed events, and the phase table must partition a
+//! measured wall time.
+//!
+//! A minimal recursive-descent JSON parser lives here so the round-trip
+//! check does not depend on external crates (the build environment has
+//! no registry access).
+
+use pwobs::export::{chrome_trace_json, phase_table, tracked_fraction, StepRecord, StepStream};
+use pwobs::Recorder;
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { b: s.as_bytes(), i: 0 }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) {
+        self.ws();
+        assert_eq!(self.b.get(self.i), Some(&c), "expected {:?} at byte {}", c as char, self.i);
+        self.i += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        *self.b.get(self.i).expect("unexpected end of JSON")
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, s: &str, v: Json) -> Json {
+        self.ws();
+        assert_eq!(&self.b[self.i..self.i + s.len()], s.as_bytes());
+        self.i += s.len();
+        v
+    }
+
+    fn number(&mut self) -> Json {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len() && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text:?}")))
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b[self.i] {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5]).unwrap();
+                            let code = u32::from_str_radix(hex, 16).unwrap();
+                            out.push(char::from_u32(code).unwrap());
+                            self.i += 4;
+                        }
+                        c => panic!("bad escape \\{}", c as char),
+                    }
+                    self.i += 1;
+                }
+                c => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let s = std::str::from_utf8(&self.b[self.i..]).unwrap();
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                    let _ = c;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Json::Arr(items);
+                }
+                c => panic!("expected , or ] got {:?}", c as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut map = BTreeMap::new();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Json::Obj(map);
+        }
+        loop {
+            self.ws();
+            let key = self.string();
+            self.expect(b':');
+            map.insert(key, self.value());
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Json::Obj(map);
+                }
+                c => panic!("expected , or }} got {:?}", c as char),
+            }
+        }
+    }
+}
+
+fn parse(s: &str) -> Json {
+    let mut p = Parser::new(s);
+    let v = p.value();
+    p.ws();
+    assert_eq!(p.i, p.b.len(), "trailing bytes after JSON document");
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+fn sample_recorder() -> Recorder {
+    let r = Recorder::new();
+    // start_ns, totals in ns; tid 2 recorded before tid 1 to exercise
+    // deterministic sorting.
+    r.record_span("xch.fused_pair_solve", 600_000, 600_000, 1_000, 2);
+    r.record_span("fft.transform_batch", 250_000, 250_000, 2_000, 1);
+    r.record_span("gemm.overlap", 100_000, 100_000, 300_000, 1);
+    r.record_span("step.ptim \"q\"\n", 1_000_000, 50_000, 0, 1);
+    r.counter_add("fock.solves", 12);
+    r.gauge_set("pool.peak_bytes", 4096.0);
+    r
+}
+
+#[test]
+fn chrome_trace_round_trips_through_a_json_parser() {
+    let r = sample_recorder();
+    let text = chrome_trace_json(&r);
+    let doc = parse(&text);
+
+    let Json::Obj(top) = doc else { panic!("top level must be an object") };
+    let Json::Arr(events) = &top["traceEvents"] else { panic!("traceEvents must be an array") };
+    assert_eq!(events.len(), 4);
+
+    let mut names = Vec::new();
+    for ev in events {
+        let Json::Obj(e) = ev else { panic!("event must be an object") };
+        assert_eq!(e["ph"], Json::Str("X".into()));
+        assert_eq!(e["pid"], Json::Num(1.0));
+        let Json::Num(ts) = e["ts"] else { panic!("ts numeric") };
+        let Json::Num(dur) = e["dur"] else { panic!("dur numeric") };
+        assert!(ts >= 0.0 && dur > 0.0);
+        let Json::Str(name) = &e["name"] else { panic!("name string") };
+        names.push(name.clone());
+    }
+    // Sorted by (tid, ts); the escaped name survives the round trip.
+    assert_eq!(
+        names,
+        vec!["step.ptim \"q\"\n", "fft.transform_batch", "gemm.overlap", "xch.fused_pair_solve"]
+    );
+
+    let Json::Obj(other) = &top["otherData"] else { panic!("otherData object") };
+    assert_eq!(other["fock.solves"], Json::Num(12.0));
+    assert_eq!(other["pool.peak_bytes"], Json::Num(4096.0));
+}
+
+#[test]
+fn phase_rows_partition_the_wall_time() {
+    let r = sample_recorder();
+    // Self times: xch 600µs + fft 250µs + gemm 100µs + step-self 50µs
+    // = 1ms exactly; against a 1ms wall the core rows cover 95%.
+    let total_s = 1e-3;
+    let frac = tracked_fraction(&r, total_s);
+    assert!((frac - 0.95).abs() < 1e-9, "tracked fraction {frac}");
+
+    let table = phase_table(&r, total_s);
+    // Shares printed for every populated row plus the untracked
+    // remainder; the step row is visible but not part of the core four.
+    assert!(table.contains("exchange"));
+    assert!(table.contains("step glue"));
+    assert!(table.contains("60.00%"), "exchange share:\n{table}");
+    assert!(table.contains("25.00%"), "fft share:\n{table}");
+    assert!(table.contains("untracked"));
+}
+
+#[test]
+fn step_stream_lines_parse_back() {
+    let mut stream = StepStream::new(Vec::new());
+    for step in 0..3u64 {
+        let rec = StepRecord::new(step)
+            .f("wall_s", 0.125 * (step + 1) as f64)
+            .u("scf_iters", 4 + step)
+            .u("pool_peak_bytes", 1 << 20)
+            .b("converged", true)
+            .s("propagator", "ptim_ace");
+        stream.emit(&rec).unwrap();
+    }
+    assert_eq!(stream.lines(), 3);
+    let text = String::from_utf8(stream.into_inner()).unwrap();
+    for (i, line) in text.lines().enumerate() {
+        let Json::Obj(o) = parse(line) else { panic!("line must be an object") };
+        assert_eq!(o["step"], Json::Num(i as f64));
+        assert_eq!(o["converged"], Json::Bool(true));
+        assert_eq!(o["propagator"], Json::Str("ptim_ace".into()));
+        let Json::Num(w) = o["wall_s"] else { panic!("wall_s numeric") };
+        assert!((w - 0.125 * (i + 1) as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Span semantics against the *global* recorder: nesting/self-time
+//! accounting and deterministic cross-thread aggregation.
+//!
+//! Tests in this binary share the process-wide recorder, so each takes
+//! a serialization lock and resets the registry.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn spin_for(d: Duration) {
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[test]
+fn nested_spans_split_self_and_child_time() {
+    let _g = serial();
+    pwobs::set_enabled(true);
+    pwobs::reset();
+
+    {
+        let _outer = pwobs::span("step.outer");
+        spin_for(Duration::from_millis(20));
+        {
+            let _inner = pwobs::span("gemm.inner");
+            spin_for(Duration::from_millis(30));
+        }
+        {
+            let _inner2 = pwobs::span("fft.inner");
+            spin_for(Duration::from_millis(10));
+        }
+    }
+
+    let rec = pwobs::global();
+    let outer = rec.span_stat("step.outer").unwrap();
+    let inner = rec.span_stat("gemm.inner").unwrap();
+    let inner2 = rec.span_stat("fft.inner").unwrap();
+    pwobs::set_enabled(false);
+
+    assert_eq!(outer.calls, 1);
+    assert_eq!(inner.calls, 1);
+    // Leaves have self == total.
+    assert_eq!(inner.self_ns, inner.total_ns);
+    assert_eq!(inner2.self_ns, inner2.total_ns);
+    // Outer total covers everything; its self time excludes *both*
+    // sibling children exactly.
+    assert!(outer.total_ns >= inner.total_ns + inner2.total_ns);
+    assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns - inner2.total_ns);
+    // Self times land in the right ballpark of the spins (generous
+    // bounds: CI schedulers).
+    assert!(outer.self_ns >= 15_000_000, "outer self {}", outer.self_ns);
+    assert!(inner.self_ns >= 25_000_000, "inner self {}", inner.self_ns);
+}
+
+#[test]
+fn cross_thread_aggregation_is_deterministic() {
+    let _g = serial();
+    pwobs::set_enabled(true);
+    pwobs::reset();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50;
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    let _outer = pwobs::span("step.worker");
+                    let _inner = pwobs::span("gemm.worker");
+                    std::hint::black_box(0u64);
+                }
+            });
+        }
+    });
+
+    let rec = pwobs::global();
+    let outer = rec.span_stat("step.worker").unwrap();
+    let inner = rec.span_stat("gemm.worker").unwrap();
+    // Every span is aggregated exactly once regardless of interleaving.
+    assert_eq!(outer.calls, (THREADS as u64) * PER_THREAD);
+    assert_eq!(inner.calls, (THREADS as u64) * PER_THREAD);
+    // Span stacks are per-thread: nesting on one thread never leaks
+    // into another, so inner spans stay pure leaves.
+    assert_eq!(inner.self_ns, inner.total_ns);
+
+    // The timeline tags each event with a stable small thread id.
+    let mut tids: Vec<u32> = rec.timeline().iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), THREADS, "one tid per worker thread");
+
+    // Snapshot ordering is sorted by name: deterministic across runs.
+    let names: Vec<&str> = rec.span_stats().iter().map(|(n, _)| *n).collect();
+    assert_eq!(names, vec!["gemm.worker", "step.worker"]);
+    pwobs::set_enabled(false);
+}
+
+#[test]
+fn disabled_spans_record_nothing() {
+    let _g = serial();
+    pwobs::set_enabled(true);
+    pwobs::reset();
+    pwobs::set_enabled(false);
+    {
+        let _s = pwobs::span("gemm.ghost");
+        pwobs::counter_add("ghost", 1);
+        pwobs::gauge_set("ghost_g", 1.0);
+    }
+    let rec = pwobs::global();
+    assert!(rec.span_stat("gemm.ghost").is_none());
+    assert_eq!(rec.counter("ghost"), 0);
+    assert_eq!(rec.gauge("ghost_g"), None);
+    assert_eq!(rec.timeline_len(), 0);
+}
+
+#[test]
+fn spans_spanning_an_enable_toggle_follow_open_state() {
+    let _g = serial();
+    pwobs::set_enabled(true);
+    pwobs::reset();
+
+    // Opened disabled, closed enabled: not recorded.
+    pwobs::set_enabled(false);
+    let ghost = pwobs::span("step.ghost");
+    pwobs::set_enabled(true);
+    drop(ghost);
+    assert!(pwobs::global().span_stat("step.ghost").is_none());
+
+    // Opened enabled, closed disabled: recorded (the guard owns its
+    // measurement once started).
+    let live = pwobs::span("step.live");
+    pwobs::set_enabled(false);
+    drop(live);
+    assert_eq!(pwobs::global().span_stat("step.live").unwrap().calls, 1);
+}

@@ -1,0 +1,47 @@
+//! The disabled-recorder fast path must not allocate: instrumentation
+//! is compiled into every hot kernel, so `cargo test` and production
+//! runs with tracing off must pay only a relaxed atomic load per site.
+//!
+//! This binary intentionally holds a single test: a counting global
+//! allocator cannot distinguish allocations made by concurrent tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_allocates_nothing() {
+    // Settle the lazy env-var initialisation (reads `PWOBS`, which may
+    // allocate) before measuring.
+    pwobs::set_enabled(false);
+    assert!(!pwobs::enabled());
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _span = pwobs::span("gemm.gemm");
+        let _nested = pwobs::span("fft.transform_batch");
+        pwobs::counter_add("fock.solves", i);
+        pwobs::gauge_set("pool.peak_bytes", i as f64);
+        pwobs::gauge_add("wire_s", 0.5);
+        pwobs::if_enabled(|_| unreachable!("recorder is disabled"));
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled observability path allocated");
+}

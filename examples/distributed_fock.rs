@@ -8,6 +8,8 @@
 //!
 //! ```bash
 //! cargo run --release --example distributed_fock
+//! # also dump every rank's communication profile as JSONL
+//! cargo run --release --example distributed_fock -- --stats target/pwobs/distributed_fock_ranks.jsonl
 //! ```
 
 use pwdft_repro::mpisim::{Category, Cluster, NetworkModel, Topology};
@@ -19,6 +21,15 @@ use pwdft_repro::pwnum::cmat::CMat;
 use pwdft_repro::pwnum::eigh;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let stats_path = args.iter().position(|a| a == "--stats").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "target/pwobs/distributed_fock_ranks.jsonl".into())
+    });
+    if let Some(p) = &stats_path {
+        pwdft_bench::truncate_rank_stats(p);
+    }
     let sys = DftSystem::with_dims(Cell::silicon_supercell(1, 1, 1), 2.5, [8, 8, 8]);
     let n_bands = 16;
     let p = 8;
@@ -87,6 +98,11 @@ fn main() {
                 err,
             )
         });
+        if let Some(p) = &stats_path {
+            let reports: Vec<_> = out.iter().map(|(_, r)| r.clone()).collect();
+            pwdft_bench::write_rank_stats_jsonl(p, &format!("{strategy:?}"), &reports)
+                .expect("rank stats jsonl");
+        }
         let agg = out.iter().fold(
             (0.0f64, 0.0f64, 0.0f64, 0.0f64, 1.0f64, 0.0f64),
             |a, ((b, s, w, t, o, e), _)| {
@@ -103,6 +119,9 @@ fn main() {
             agg.4 * 100.0,
             agg.5
         );
+    }
+    if let Some(p) = &stats_path {
+        println!("\nwrote per-rank communication profiles to {p}");
     }
     println!("\nall strategies compute identical physics; the virtual-clock network");
     println!("model shows the Bcast→Ring→Async communication migration of the");

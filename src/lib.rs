@@ -19,7 +19,10 @@
 //! * [`ptim`] — the paper's contribution: PT-IM and PT-IM-ACE
 //!   finite-temperature rt-TDDFT propagators, serial and distributed,
 //! * [`perfmodel`] — calibrated performance models of the Fugaku (ARM)
-//!   and A100 (GPU) platforms used for the scaling studies.
+//!   and A100 (GPU) platforms used for the scaling studies,
+//! * [`pwobs`] — the unified tracing/metrics registry every layer
+//!   reports into (scoped spans, counters/gauges, chrome-trace /
+//!   Fig. 9 phase-table / JSONL-stream exporters).
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -30,3 +33,4 @@ pub use ptim;
 pub use pwdft;
 pub use pwfft;
 pub use pwnum;
+pub use pwobs;
